@@ -1,0 +1,126 @@
+// Microbenchmarks: causal-miner and simulator throughput, plus ablations
+// of the miner's design choices called out in DESIGN.md:
+//
+//   * horizon cap on vs off — the paper's implicit bound (TDelay below the
+//     retransmission timeout) made explicit;
+//   * window factor 1x vs 2x vs 3x — the paper's "at least 2*TDelay" rule.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hpp"
+#include "mining/miner.hpp"
+
+using namespace nidkit;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// One mesh-5 trace, shared by the miner benches (computed once).
+const trace::TraceLog& mesh5_trace() {
+  static const trace::TraceLog log = [] {
+    harness::Scenario s;
+    s.topology = {topo::Kind::kMesh, 5};
+    s.ospf_profile = ospf::frr_profile();
+    s.duration = 180s;
+    return harness::run_scenario(s).log;
+  }();
+  return log;
+}
+
+void BM_ScenarioMesh5(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::Scenario s;
+    s.topology = {topo::Kind::kMesh, 5};
+    s.ospf_profile = ospf::frr_profile();
+    s.duration = 180s;
+    s.seed = 1;
+    auto r = harness::run_scenario(s);
+    benchmark::DoNotOptimize(r.log.size());
+  }
+}
+BENCHMARK(BM_ScenarioMesh5)->Unit(benchmark::kMillisecond);
+
+void BM_MinePairs(benchmark::State& state) {
+  const auto& log = mesh5_trace();
+  mining::MinerConfig cfg;
+  for (auto _ : state) {
+    mining::CausalMiner miner(cfg);
+    benchmark::DoNotOptimize(miner.mine_pairs(log));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * log.size()));
+}
+BENCHMARK(BM_MinePairs);
+
+void BM_MineAndClassify(benchmark::State& state) {
+  const auto& log = mesh5_trace();
+  mining::MinerConfig cfg;
+  const auto scheme = mining::ospf_type_scheme();
+  for (auto _ : state) {
+    mining::CausalMiner miner(cfg);
+    benchmark::DoNotOptimize(miner.mine(log, scheme));
+  }
+}
+BENCHMARK(BM_MineAndClassify);
+
+void BM_TruePairs(benchmark::State& state) {
+  const auto& log = mesh5_trace();
+  for (auto _ : state) benchmark::DoNotOptimize(mining::true_pairs(log));
+}
+BENCHMARK(BM_TruePairs);
+
+// ---- Ablation: horizon cap ----
+// Without the cap, a stimulus can be paired with a response minutes later;
+// the counters show how many extra (meaningless) cells that admits.
+void BM_Ablation_Horizon(benchmark::State& state) {
+  const auto& log = mesh5_trace();
+  mining::MinerConfig cfg;
+  cfg.horizon = state.range(0) == 0 ? SimDuration{0}  // uncapped
+                                    : SimDuration{state.range(0) * 1000};
+  const auto scheme = mining::ospf_type_scheme();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    mining::CausalMiner miner(cfg);
+    const auto set = miner.mine(log, scheme);
+    cells = set.size();
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+}
+BENCHMARK(BM_Ablation_Horizon)->Arg(0)->Arg(1000)->Arg(5000)->Arg(30000);
+
+// ---- Ablation: window factor ----
+void BM_Ablation_WindowFactor(benchmark::State& state) {
+  const auto& log = mesh5_trace();
+  mining::MinerConfig cfg;
+  cfg.window_factor = static_cast<double>(state.range(0));
+  const auto scheme = mining::ospf_type_scheme();
+  std::size_t unobserved = 0;
+  for (auto _ : state) {
+    mining::CausalMiner miner(cfg);
+    const auto set = miner.mine(log, scheme);
+    const auto acc = mining::score_cells(log, set, scheme);
+    unobserved = acc.unobserved;
+    benchmark::DoNotOptimize(unobserved);
+  }
+  state.counters["unobserved"] = static_cast<double>(unobserved);
+}
+BENCHMARK(BM_Ablation_WindowFactor)->Arg(1)->Arg(2)->Arg(3);
+
+// ---- Simulator event throughput ----
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::Simulator sim;
+    const std::int64_t n = state.range(0);
+    std::int64_t fired = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      sim.schedule(SimDuration{i}, [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEvents)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces Table 1 of the paper: packet causal relationships by general
+// OSPF packet type, FRR-like vs BIRD-like, mined over the paper's four
+// topologies (linear-2, mesh-3, linear-5, mesh-5) with TDelay = 900 ms.
+//
+// Presentation follows the paper: columns Snd(type), rows Rcv(type), in
+// the paper's type order (Hello, DB Description, LS Update, LS Request,
+// LS Acknowledge — note the paper swaps the RFC's 3/4 order), one column
+// block per implementation, ✓ = relationship observed at least once,
+// Ø = never observed. The flagged discrepancy list below the matrix is the
+// technique's actual output: candidate non-interoperabilities.
+#include <iostream>
+
+#include "detect/report.hpp"
+#include "harness/experiment.hpp"
+
+using namespace nidkit;
+using namespace std::chrono_literals;
+
+int main() {
+  harness::ExperimentConfig config;  // paper defaults: 4 topologies, 900 ms
+  const auto scheme = mining::ospf_type_scheme();
+  const harness::AuditResult audit = harness::audit_ospf(
+      {ospf::frr_profile(), ospf::bird_profile()}, config, scheme);
+
+  // Paper presentation order: (1) Hello (2) DBD (3) LSU (4) LSR (5) LSAck.
+  const std::vector<std::string> order = {"Hello", "DBD", "LSU", "LSR",
+                                          "LSAck"};
+
+  std::cout << "=== Table 1: packet causal relationships, general types ===\n"
+            << "(send->recv direction: cell (Rcv R, Snd S) is checked when,\n"
+            << " after sending S, the first packet received >= 2*TDelay\n"
+            << " later was an R, in at least one observed instance)\n\n"
+            << detect::render_matrix(audit.named(), order, order,
+                                     mining::RelationDirection::kSendToRecv);
+
+  std::cout << "\n--- recv->send direction (the paper reports it is "
+               "consistent; shown for completeness) ---\n\n"
+            << detect::render_matrix(audit.named(), order, order,
+                                     mining::RelationDirection::kRecvToSend,
+                                     "Snd", "Rcv");
+
+  std::cout << "\n=== Flagged candidate non-interoperabilities ===\n"
+            << detect::render_discrepancies(audit.discrepancies);
+
+  std::cout << "\npaper shape check: matrices must differ between the two "
+               "implementations,\nwith discrepancies concentrated in the "
+               "LSR/LSU/LSAck (database-exchange and\nflooding) region and "
+               "none in the plain Hello<->Hello handshake.\n";
+  const bool differs = !audit.discrepancies.empty();
+  bool hello_hello_flagged = false;
+  for (const auto& d : audit.discrepancies)
+    if (d.cell.stimulus == "Hello" && d.cell.response == "Hello" &&
+        d.direction == mining::RelationDirection::kSendToRecv)
+      hello_hello_flagged = true;
+  std::cout << "  implementations differ: " << (differs ? "yes" : "NO")
+            << "\n  Hello->Hello agrees:    "
+            << (hello_hello_flagged ? "NO" : "yes") << "\n";
+  return differs && !hello_hello_flagged ? 0 : 1;
+}

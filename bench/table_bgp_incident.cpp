@@ -1,0 +1,91 @@
+// The paper's motivating example (§1), reproduced end to end: the 2009
+// global slowdown, where routes with an extremely long AS_PATH caused one
+// implementation to reset its BGP sessions repeatedly while others carried
+// the route.
+//
+// Two homogeneous networks (bgp-robust, bgp-fragile) run the same
+// workload — ordinary originations plus one long-path announcement — and
+// the causal miner compares their message-level relationships. The flagged
+// discrepancy is exactly the incident: Snd(UPDATE+longpath) →
+// Rcv(NOTIFICATION) exists only against the fragile implementation.
+#include <cstdio>
+#include <iostream>
+
+#include "detect/report.hpp"
+#include "harness/experiment.hpp"
+
+using namespace nidkit;
+using namespace std::chrono_literals;
+
+int main() {
+  mining::MinerConfig miner_config;
+  miner_config.tdelay = 900ms;
+  miner_config.horizon = 5s;
+  mining::CausalMiner miner(miner_config);
+  const auto scheme = mining::bgp_message_scheme();
+
+  std::map<std::string, mining::RelationSet> by_impl;
+  std::map<std::string, harness::ScenarioResult> stats;
+  for (const auto& profile :
+       {bgp::bgp_robust_profile(), bgp::bgp_fragile_profile()}) {
+    mining::RelationSet set;
+    harness::ScenarioResult last;
+    for (const auto& spec : {topo::Spec{topo::Kind::kLinear, 2},
+                             topo::Spec{topo::Kind::kLinear, 3},
+                             topo::Spec{topo::Kind::kRing, 4}}) {
+      harness::Scenario s;
+      s.protocol = harness::Protocol::kBgp;
+      s.bgp_profile = profile;
+      s.topology = spec;
+      s.duration = 300s;
+      s.churn_times = {60s};
+      auto run = harness::run_scenario(s);
+      set.merge(miner.mine(run.log, scheme));
+      last = std::move(run);
+    }
+    by_impl.emplace(profile.name, std::move(set));
+    stats.emplace(profile.name, std::move(last));
+  }
+
+  const std::vector<std::string> labels = {"OPEN", "KEEPALIVE", "UPDATE",
+                                           "UPDATE+longpath",
+                                           "UPDATE+withdraw", "NOTIFICATION"};
+  const std::vector<detect::NamedRelations> named = {
+      {"bgp-robust", &by_impl.at("bgp-robust")},
+      {"bgp-fragile", &by_impl.at("bgp-fragile")}};
+
+  std::cout << "=== BGP message causal relationships (2009 incident "
+               "workload) ===\n\n"
+            << detect::render_matrix(named, labels, labels,
+                                     mining::RelationDirection::kSendToRecv);
+
+  const auto flags = detect::compare(named[0], named[1]);
+  std::cout << "\n=== Flagged candidate non-interoperabilities ===\n"
+            << detect::render_discrepancies(flags);
+
+  std::printf("\nsession health during the workload (last topology):\n");
+  for (const auto& [name, r] : stats) {
+    std::printf("  %-12s resets=%llu notifications=%llu long-path "
+                "rejections=%llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(r.bgp_totals.session_resets),
+                static_cast<unsigned long long>(r.bgp_totals.tx_notification),
+                static_cast<unsigned long long>(
+                    r.bgp_totals.long_path_rejects));
+  }
+
+  const auto dir = mining::RelationDirection::kSendToRecv;
+  const bool incident =
+      by_impl.at("bgp-fragile").has(dir, "UPDATE+longpath", "NOTIFICATION") &&
+      !by_impl.at("bgp-robust").has(dir, "UPDATE+longpath", "NOTIFICATION");
+  const bool both_carry_normal =
+      by_impl.at("bgp-robust").has(dir, "UPDATE", "KEEPALIVE") ||
+      by_impl.at("bgp-robust").has(dir, "UPDATE", "UPDATE");
+  std::printf("\npaper shape check:\n"
+              "  long-path UPDATE answered by NOTIFICATION only in the "
+              "fragile implementation: %s\n"
+              "  ordinary UPDATE traffic uneventful in the robust "
+              "implementation: %s\n",
+              incident ? "yes" : "NO", both_carry_normal ? "yes" : "NO");
+  return (incident && both_carry_normal) ? 0 : 1;
+}

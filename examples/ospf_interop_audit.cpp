@@ -1,0 +1,80 @@
+// Full interoperability audit — the paper's complete workflow on the
+// paper's configuration:
+//
+//   * three implementations under test (FRR-like, BIRD-like, and a strict
+//     RFC-literal profile as a reference comparator);
+//   * the paper's four topologies plus the extended set, three seeds each;
+//   * three keying granularities (general types, greater-LS-SN refinement,
+//     state-conditioned);
+//   * a final report with matrices, per-granularity discrepancies, and the
+//     evidence (time + occurrence count) for each flag.
+//
+// Run time: a few seconds (each emulated network runs 180 simulated
+// seconds; the discrete-event simulator covers that in milliseconds).
+#include <iostream>
+
+#include "detect/report.hpp"
+#include "harness/experiment.hpp"
+
+using namespace nidkit;
+using namespace std::chrono_literals;
+
+int main() {
+  harness::ExperimentConfig config;
+  config.topologies = topo::extended_topologies();
+  config.seeds = {1, 2, 3};
+
+  const std::vector<ospf::BehaviorProfile> impls = {
+      ospf::frr_profile(), ospf::bird_profile(), ospf::strict_profile()};
+
+  const std::vector<std::string> types = {"Hello", "DBD", "LSU", "LSR",
+                                          "LSAck"};
+
+  std::cout << "###############################################\n"
+            << "# nidkit interoperability audit: OSPFv2       #\n"
+            << "# implementations: frr, bird, strict          #\n"
+            << "# topologies: " << config.topologies.size()
+            << " x seeds: " << config.seeds.size() << "\n"
+            << "###############################################\n\n";
+
+  // ---- Granularity 1: general packet types (Table 1 style) ----
+  {
+    const auto audit =
+        harness::audit_ospf(impls, config, mining::ospf_type_scheme());
+    std::cout << "== general packet types ==\n\n"
+              << detect::render_matrix(audit.named(), types, types,
+                                       mining::RelationDirection::kSendToRecv)
+              << "\ndiscrepancies:\n"
+              << detect::render_discrepancies(audit.discrepancies) << "\n";
+  }
+
+  // ---- Granularity 2: greater LS-SN refinement (Table 2 style) ----
+  {
+    const auto audit = harness::audit_ospf(
+        impls, config, mining::ospf_greater_lssn_scheme());
+    std::cout << "== greater LS sequence number refinement ==\n\n"
+              << detect::render_matrix(audit.named(), {"LSU", "LSAck"},
+                                       {"LSU+gtSN", "LSAck+gtSN"},
+                                       mining::RelationDirection::kSendToRecv)
+              << "\ndiscrepancies:\n"
+              << detect::render_discrepancies(audit.discrepancies) << "\n";
+  }
+
+  // ---- Granularity 3: state-conditioned (future work) ----
+  {
+    const auto audit =
+        harness::audit_ospf(impls, config, mining::ospf_state_scheme());
+    std::cout << "== state-conditioned (neighbor FSM) ==\n";
+    for (const auto& name : audit.names)
+      std::cout << "  " << name << ": " << audit.by_impl.at(name).size()
+                << " relationship cells\n";
+    std::cout << "  " << audit.discrepancies.size()
+              << " state-conditioned discrepancies (first 10 shown)\n\n";
+    std::vector<detect::Discrepancy> head(
+        audit.discrepancies.begin(),
+        audit.discrepancies.begin() +
+            std::min<std::size_t>(10, audit.discrepancies.size()));
+    std::cout << detect::render_discrepancies(head);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Protocol generality: the identical pipeline applied to RIPv2.
+//
+// The technique is black-box — it needs only (1) packets on the wire and
+// (2) a keying function over the formally specified packet structure. This
+// example audits two RIP behaviour variants and walks through the flagged
+// discrepancy the way an operator would read it.
+#include <iostream>
+
+#include "detect/report.hpp"
+#include "harness/experiment.hpp"
+
+using namespace nidkit;
+using namespace std::chrono_literals;
+
+int main() {
+  harness::ExperimentConfig config;
+  config.topologies = {topo::Spec{topo::Kind::kLinear, 3},
+                       topo::Spec{topo::Kind::kRing, 4}};
+  config.seeds = {1, 2};
+  config.duration = 300s;  // several 30 s periodic cycles
+
+  const auto audit = harness::audit_rip(
+      {rip::rip_classic_profile(), rip::rip_eager_profile()}, config,
+      mining::rip_refined_scheme());
+
+  const std::vector<std::string> labels = {"Request(full)", "Request",
+                                           "Response", "Response(poison)"};
+  std::cout << "RIP packet causal relationships (field-refined):\n\n"
+            << detect::render_matrix(audit.named(), labels, labels,
+                                     mining::RelationDirection::kSendToRecv)
+            << "\nFlagged candidate non-interoperabilities:\n"
+            << detect::render_discrepancies(audit.discrepancies);
+
+  std::cout <<
+      "\nReading the flags: the eager variant runs poisoned reverse, so its\n"
+      "steady-state responses carry infinity-metric entries; the classic\n"
+      "variant never emits them. A receiver that mishandles metric-16\n"
+      "entries (e.g. treats them as parse errors) would interoperate with\n"
+      "the classic variant but fail against the eager one — exactly the\n"
+      "class of bug the paper's technique is designed to surface before\n"
+      "deployment.\n";
+  return 0;
+}

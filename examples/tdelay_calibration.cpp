@@ -1,0 +1,65 @@
+// TDelay calibration — how a user of the toolkit picks the delay to
+// inject, reproducing the paper's §3 methodology ("we set TDelay to
+// 900 ms, because the reduction in the unobserved packet causal
+// relationships plateaued").
+//
+// The example sweeps candidate TDelays, prints the accuracy curve, and
+// programmatically picks the knee: the smallest TDelay whose unobserved-
+// relationship count is within tolerance of the plateau level. Because the
+// simulator stamps ground-truth provenance on every frame, the example can
+// also print the pair-level precision/recall the paper could not measure.
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+using namespace nidkit;
+using namespace std::chrono_literals;
+
+int main() {
+  harness::ExperimentConfig config;
+  config.topologies = {topo::Spec{topo::Kind::kLinear, 2},
+                       topo::Spec{topo::Kind::kMesh, 3}};
+  config.seeds = {1, 2};
+  config.link_jitter = 400ms;  // the variance TDelay must dominate
+
+  std::vector<SimDuration> candidates;
+  for (int ms = 0; ms <= 1500; ms += 100)
+    candidates.push_back(SimDuration{ms * 1000});
+
+  const auto sweep = harness::tdelay_sweep(
+      ospf::frr_profile(), config, candidates, mining::ospf_type_scheme());
+
+  std::printf("%8s %12s %10s %11s %9s\n", "TDelay", "unobserved", "spurious",
+              "precision", "recall");
+  for (const auto& p : sweep)
+    std::printf("%6lldms %12zu %10zu %11.3f %9.3f\n",
+                static_cast<long long>(p.tdelay.count() / 1000),
+                p.unobserved_cells, p.spurious_cells, p.precision, p.recall);
+
+  // Pick the knee: plateau level = median of the last third of the sweep;
+  // calibrated TDelay = first point within +2 cells of it.
+  std::vector<std::size_t> tail;
+  for (std::size_t i = sweep.size() * 2 / 3; i < sweep.size(); ++i)
+    tail.push_back(sweep[i].unobserved_cells);
+  std::sort(tail.begin(), tail.end());
+  const std::size_t plateau = tail[tail.size() / 2];
+
+  SimDuration calibrated = sweep.back().tdelay;
+  for (const auto& p : sweep) {
+    if (p.tdelay.count() == 0) continue;  // 0 disables the technique
+    if (p.unobserved_cells <= plateau + 2) {
+      calibrated = p.tdelay;
+      break;
+    }
+  }
+  std::printf("\nplateau level: %zu unobserved cells\n", plateau);
+  std::printf("calibrated TDelay: %lld ms (paper: 900 ms on its Docker "
+              "testbed)\n",
+              static_cast<long long>(calibrated.count() / 1000));
+  std::printf("rule of thumb confirmed: pick TDelay above the RTT/processing"
+              " variance\n(%lld ms here) and below the retransmission timeout"
+              " (5000 ms).\n",
+              static_cast<long long>(config.link_jitter.count() / 1000));
+  return 0;
+}

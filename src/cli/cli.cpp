@@ -1,0 +1,440 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "detect/json.hpp"
+#include "detect/report.hpp"
+#include "harness/experiment.hpp"
+#include "harness/injection.hpp"
+#include "harness/stability.hpp"
+#include "trace/pcap.hpp"
+
+namespace nidkit::cli {
+
+using namespace std::chrono_literals;
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::optional<long long> Args::get_int(const std::string& key) const {
+  auto it = flags.find(key);
+  if (it == flags.end()) return std::nullopt;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Args> parse_args(const std::vector<std::string>& tokens,
+                               std::ostream& err) {
+  Args args;
+  std::size_t i = 0;
+  if (i < tokens.size() && tokens[i].rfind("--", 0) != 0)
+    args.command = tokens[i++];
+  while (i < tokens.size()) {
+    const auto& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      err << "unexpected positional argument: " << tok << "\n";
+      return std::nullopt;
+    }
+    if (i + 1 >= tokens.size()) {
+      err << "flag " << tok << " needs a value\n";
+      return std::nullopt;
+    }
+    args.flags[tok.substr(2)] = tokens[i + 1];
+    i += 2;
+  }
+  return args;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+namespace {
+
+int usage(std::ostream& out) {
+  out << "nidt — non-interoperability detection for routing protocols\n"
+         "\n"
+         "usage: nidt <command> [--flag value ...]\n"
+         "\n"
+         "commands:\n"
+         "  audit      --protocol ospf|rip|bgp  --impls frr,bird\n"
+         "             [--scheme type|gtsn|state|lsatype] [--topos paper|extended]\n"
+         "             [--format text|json]\n"
+         "             [--tdelay-ms 900] [--seeds 1,2,3] [--duration-s 180]\n"
+         "  trace      --impl frr [--topo mesh-5] [--seed 1]\n"
+         "             [--out trace.txt | --pcap capture.pcap]\n"
+         "  mine       --in trace.txt [--tdelay-ms 900] [--scheme type]\n"
+         "  sweep      [--impl frr] [--max-ms 1500] [--step-ms 150]\n"
+         "  inject     --target frr|bird|strict --stimulus LSU-stale|LSR|...\n"
+         "  validate   --impls frr,bird [--scheme gtsn] : mine flags, then\n"
+         "             confirm each by crafted-packet injection\n"
+         "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3]\n"
+         "  help\n";
+  return 0;
+}
+
+std::optional<ospf::BehaviorProfile> ospf_profile_by_name(
+    const std::string& name) {
+  if (name == "frr") return ospf::frr_profile();
+  if (name == "bird") return ospf::bird_profile();
+  if (name == "strict") return ospf::strict_profile();
+  return std::nullopt;
+}
+
+std::optional<mining::KeyScheme> scheme_by_name(const std::string& name) {
+  if (name == "type") return mining::ospf_type_scheme();
+  if (name == "gtsn") return mining::ospf_greater_lssn_scheme();
+  if (name == "state") return mining::ospf_state_scheme();
+  if (name == "lsatype") return mining::ospf_lsa_type_scheme();
+  return std::nullopt;
+}
+
+std::optional<topo::Spec> topo_by_name(const std::string& name) {
+  const auto dash = name.rfind('-');
+  if (dash == std::string::npos) return std::nullopt;
+  const std::string kind = name.substr(0, dash);
+  std::size_t n = 0;
+  try {
+    n = std::stoul(name.substr(dash + 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (kind == "linear") return topo::Spec{topo::Kind::kLinear, n};
+  if (kind == "mesh") return topo::Spec{topo::Kind::kMesh, n};
+  if (kind == "ring") return topo::Spec{topo::Kind::kRing, n};
+  if (kind == "star") return topo::Spec{topo::Kind::kStar, n};
+  if (kind == "tree") return topo::Spec{topo::Kind::kTree, n};
+  if (kind == "lan") return topo::Spec{topo::Kind::kLan, n};
+  return std::nullopt;
+}
+
+std::optional<harness::ExperimentConfig> config_from(const Args& args,
+                                                     std::ostream& err) {
+  harness::ExperimentConfig config;
+  const std::string topos = args.get("topos", "paper");
+  if (topos == "paper") {
+    config.topologies = topo::paper_topologies();
+  } else if (topos == "extended") {
+    config.topologies = topo::extended_topologies();
+  } else {
+    config.topologies.clear();
+    for (const auto& name : split_list(topos)) {
+      const auto spec = topo_by_name(name);
+      if (!spec) {
+        err << "unknown topology: " << name << "\n";
+        return std::nullopt;
+      }
+      config.topologies.push_back(*spec);
+    }
+  }
+  if (const auto ms = args.get_int("tdelay-ms"))
+    config.tdelay = SimDuration{*ms * 1000};
+  if (const auto s = args.get_int("duration-s"))
+    config.duration = std::chrono::seconds(*s);
+  if (args.has("seeds")) {
+    config.seeds.clear();
+    for (const auto& s : split_list(args.get("seeds", "")))
+      config.seeds.push_back(std::stoull(s));
+    if (config.seeds.empty()) {
+      err << "--seeds must name at least one seed\n";
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
+int cmd_audit(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string protocol = args.get("protocol", "ospf");
+  auto config = config_from(args, err);
+  if (!config) return 2;
+
+  if (protocol == "ospf") {
+    std::vector<ospf::BehaviorProfile> impls;
+    for (const auto& name : split_list(args.get("impls", "frr,bird"))) {
+      const auto p = ospf_profile_by_name(name);
+      if (!p) {
+        err << "unknown OSPF implementation: " << name << "\n";
+        return 2;
+      }
+      impls.push_back(*p);
+    }
+    if (impls.size() < 2) {
+      err << "audit needs at least two implementations\n";
+      return 2;
+    }
+    const auto scheme = scheme_by_name(args.get("scheme", "type"));
+    if (!scheme) {
+      err << "unknown scheme: " << args.get("scheme", "type") << "\n";
+      return 2;
+    }
+    const auto audit = harness::audit_ospf(impls, *config, *scheme);
+    if (args.get("format", "text") == "json") {
+      out << detect::to_json(audit.named(), audit.discrepancies) << "\n";
+      return 0;
+    }
+    std::set<std::string> stims, resps;
+    for (const auto& [name, set] : audit.by_impl) {
+      for (const auto& s : set.stimulus_labels()) stims.insert(s);
+      for (const auto& r : set.response_labels()) resps.insert(r);
+    }
+    out << detect::render_matrix(
+               audit.named(),
+               std::vector<std::string>(stims.begin(), stims.end()),
+               std::vector<std::string>(resps.begin(), resps.end()),
+               mining::RelationDirection::kSendToRecv)
+        << "\n"
+        << detect::render_discrepancies(audit.discrepancies);
+    return 0;
+  }
+  if (protocol == "rip") {
+    config->duration = std::max(config->duration, SimDuration{240s});
+    const auto audit = harness::audit_rip(
+        {rip::rip_classic_profile(), rip::rip_eager_profile()}, *config,
+        mining::rip_refined_scheme());
+    out << detect::render_discrepancies(audit.discrepancies);
+    return 0;
+  }
+  if (protocol == "bgp") {
+    config->duration = std::max(config->duration, SimDuration{300s});
+    if (!args.has("topos")) {
+      // BGP sessions are point-to-point; the default OSPF topology set is
+      // fine but smaller line/ring shapes converge faster.
+      config->topologies = {topo::Spec{topo::Kind::kLinear, 3},
+                            topo::Spec{topo::Kind::kRing, 4}};
+    }
+    const auto audit = harness::audit_bgp(
+        {bgp::bgp_robust_profile(), bgp::bgp_fragile_profile()}, *config,
+        mining::bgp_message_scheme());
+    out << detect::render_discrepancies(audit.discrepancies);
+    return 0;
+  }
+  err << "unknown protocol: " << protocol << "\n";
+  return 2;
+}
+
+int cmd_trace(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto profile = ospf_profile_by_name(args.get("impl", "frr"));
+  if (!profile) {
+    err << "unknown implementation\n";
+    return 2;
+  }
+  const auto spec = topo_by_name(args.get("topo", "mesh-5"));
+  if (!spec) {
+    err << "unknown topology\n";
+    return 2;
+  }
+  harness::Scenario s;
+  s.topology = *spec;
+  s.ospf_profile = *profile;
+  if (const auto seed = args.get_int("seed"))
+    s.seed = static_cast<std::uint64_t>(*seed);
+  if (const auto ms = args.get_int("tdelay-ms")) s.tdelay = SimDuration{*ms * 1000};
+  if (const auto secs = args.get_int("duration-s"))
+    s.duration = std::chrono::seconds(*secs);
+  const auto result = harness::run_scenario(s);
+  if (args.has("pcap")) {
+    std::ofstream file(args.get("pcap", ""), std::ios::binary);
+    if (!file) {
+      err << "cannot open " << args.get("pcap", "") << "\n";
+      return 2;
+    }
+    const auto n = trace::export_pcap(result.log, file);
+    out << "wrote " << n << " packets to " << args.get("pcap", "") << "\n";
+    return 0;
+  }
+  if (args.has("out")) {
+    std::ofstream file(args.get("out", ""));
+    if (!file) {
+      err << "cannot open " << args.get("out", "") << "\n";
+      return 2;
+    }
+    result.log.save(file);
+    out << "wrote " << result.log.size() << " records to "
+        << args.get("out", "") << "\n";
+  } else {
+    result.log.save(out);
+  }
+  return 0;
+}
+
+int cmd_mine(const Args& args, std::ostream& out, std::ostream& err) {
+  if (!args.has("in")) {
+    err << "mine needs --in <trace file>\n";
+    return 2;
+  }
+  std::ifstream file(args.get("in", ""));
+  if (!file) {
+    err << "cannot open " << args.get("in", "") << "\n";
+    return 2;
+  }
+  auto log = trace::TraceLog::load(file);
+  if (!log.ok()) {
+    err << "bad trace: " << log.error() << "\n";
+    return 2;
+  }
+  const auto scheme = scheme_by_name(args.get("scheme", "type"));
+  if (!scheme) {
+    err << "unknown scheme\n";
+    return 2;
+  }
+  mining::MinerConfig mc;
+  if (const auto ms = args.get_int("tdelay-ms"))
+    mc.tdelay = SimDuration{*ms * 1000};
+  mining::CausalMiner miner(mc);
+  out << detect::render_relations(miner.mine(log.value(), *scheme));
+  return 0;
+}
+
+int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto profile = ospf_profile_by_name(args.get("impl", "frr"));
+  if (!profile) {
+    err << "unknown implementation\n";
+    return 2;
+  }
+  harness::ExperimentConfig config;
+  config.topologies = {topo::Spec{topo::Kind::kLinear, 2},
+                       topo::Spec{topo::Kind::kMesh, 3}};
+  config.seeds = {1};
+  config.link_jitter = 400ms;
+  const long long max_ms = args.get_int("max-ms").value_or(1500);
+  const long long step_ms = std::max<long long>(
+      50, args.get_int("step-ms").value_or(150));
+  std::vector<SimDuration> tds;
+  for (long long ms = 0; ms <= max_ms; ms += step_ms)
+    tds.push_back(SimDuration{ms * 1000});
+  const auto sweep = harness::tdelay_sweep(*profile, config, tds,
+                                           mining::ospf_type_scheme());
+  out << "tdelay_ms unobserved spurious precision recall\n";
+  for (const auto& p : sweep) {
+    std::ostringstream line;
+    line << p.tdelay.count() / 1000 << ' ' << p.unobserved_cells << ' '
+         << p.spurious_cells << ' ' << p.precision << ' ' << p.recall
+         << '\n';
+    out << line.str();
+  }
+  return 0;
+}
+
+int cmd_inject(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto profile = ospf_profile_by_name(args.get("target", ""));
+  if (!profile) {
+    err << "inject needs --target frr|bird|strict\n";
+    return 2;
+  }
+  const std::string stimulus = args.get("stimulus", "LSU-stale");
+  if (!harness::injection_supports(stimulus)) {
+    err << "unsupported stimulus: " << stimulus << "\n";
+    return 2;
+  }
+  harness::InjectionConfig config;
+  config.stimulus = stimulus;
+  config.target_profile = *profile;
+  const auto outcome = harness::inject_and_observe(config);
+  if (!outcome.injected) {
+    out << "adjacency never formed; nothing injected\n";
+    return 1;
+  }
+  out << "injected " << stimulus << " into " << profile->name
+      << "; responses observed:";
+  for (const auto& r : outcome.responses) out << ' ' << r;
+  out << "\n";
+  return 0;
+}
+
+int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
+  auto config = config_from(args, err);
+  if (!config) return 2;
+  std::map<std::string, ospf::BehaviorProfile> impls;
+  for (const auto& name : split_list(args.get("impls", "frr,bird"))) {
+    const auto p = ospf_profile_by_name(name);
+    if (!p) {
+      err << "unknown OSPF implementation: " << name << "\n";
+      return 2;
+    }
+    impls.emplace(name, *p);
+  }
+  if (impls.size() < 2) {
+    err << "validate needs at least two implementations\n";
+    return 2;
+  }
+  const auto scheme = scheme_by_name(args.get("scheme", "gtsn"));
+  if (!scheme) {
+    err << "unknown scheme\n";
+    return 2;
+  }
+  std::vector<ospf::BehaviorProfile> profile_list;
+  for (const auto& [name, p] : impls) profile_list.push_back(p);
+  const auto audit = harness::audit_ospf(profile_list, *config, *scheme);
+  out << "mined " << audit.discrepancies.size() << " discrepancies\n";
+  const auto report =
+      harness::validate_discrepancies(audit.discrepancies, impls);
+  int confirmed = 0;
+  for (const auto& entry : report) {
+    out << "[" << to_string(entry.verdict) << "] "
+        << entry.discrepancy.cell.stimulus << " -> "
+        << entry.discrepancy.cell.response << " (present in "
+        << entry.discrepancy.present_in << ")";
+    if (!entry.stimulus.empty()) out << " probed with " << entry.stimulus;
+    out << "\n";
+    if (entry.verdict == harness::Verdict::kConfirmed) ++confirmed;
+  }
+  out << confirmed << "/" << report.size() << " confirmed by injection\n";
+  return 0;
+}
+
+int cmd_stability(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto profile = ospf_profile_by_name(args.get("impl", "frr"));
+  if (!profile) {
+    err << "unknown implementation\n";
+    return 2;
+  }
+  auto config = config_from(args, err);
+  if (!config) return 2;
+  const auto scheme = scheme_by_name(args.get("scheme", "type"));
+  if (!scheme) {
+    err << "unknown scheme\n";
+    return 2;
+  }
+  const auto report =
+      harness::ospf_relation_stability(*profile, *config, *scheme);
+  out << "seeds stimulus -> response (occurrences)\n";
+  for (const auto& cell : report) {
+    out << cell.seeds_seen << '/' << cell.seeds_total << ' '
+        << cell.cell.stimulus << " -> " << cell.cell.response << " ["
+        << detect::to_string(cell.direction) << "] (" << cell.total_count
+        << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& tokens, std::ostream& out,
+            std::ostream& err) {
+  auto args = parse_args(tokens, err);
+  if (!args) return 2;
+  if (args->command.empty() || args->command == "help") return usage(out);
+  if (args->command == "audit") return cmd_audit(*args, out, err);
+  if (args->command == "trace") return cmd_trace(*args, out, err);
+  if (args->command == "mine") return cmd_mine(*args, out, err);
+  if (args->command == "sweep") return cmd_sweep(*args, out, err);
+  if (args->command == "inject") return cmd_inject(*args, out, err);
+  if (args->command == "validate") return cmd_validate(*args, out, err);
+  if (args->command == "stability") return cmd_stability(*args, out, err);
+  err << "unknown command: " << args->command << " (try `nidt help`)\n";
+  return 2;
+}
+
+}  // namespace nidkit::cli

@@ -1,0 +1,123 @@
+#include "detect/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nidkit::detect {
+
+namespace {
+
+/// Pads `text` to `width` display columns. The check mark and slashed zero
+/// are multi-byte in UTF-8 but single-column on screen, so padding counts
+/// code points, not bytes (sufficient for the symbols we emit).
+std::string pad(const std::string& text, std::size_t width) {
+  std::size_t cols = 0;
+  for (unsigned char c : text)
+    if ((c & 0xc0) != 0x80) ++cols;  // count non-continuation bytes
+  std::string out = text;
+  while (cols < width) {
+    out.push_back(' ');
+    ++cols;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_matrix(const std::vector<NamedRelations>& impls,
+                          const std::vector<std::string>& stimulus_order,
+                          const std::vector<std::string>& response_order,
+                          mining::RelationDirection dir,
+                          const std::string& row_prefix,
+                          const std::string& col_prefix) {
+  std::ostringstream os;
+  std::size_t row_width = row_prefix.size() + 2;
+  for (const auto& r : response_order)
+    row_width = std::max(row_width, row_prefix.size() + r.size() + 3);
+
+  std::vector<std::size_t> col_width(stimulus_order.size());
+  for (std::size_t c = 0; c < stimulus_order.size(); ++c)
+    col_width[c] = col_prefix.size() + stimulus_order[c].size() + 3;
+
+  // Implementation banner row.
+  os << pad("", row_width);
+  for (const auto& impl : impls) {
+    std::size_t block = 0;
+    for (const auto w : col_width) block += w;
+    os << "| " << pad(impl.name, block > 2 ? block - 2 : impl.name.size())
+       << ' ';
+  }
+  os << '\n';
+
+  // Column header row.
+  os << pad("", row_width);
+  for (std::size_t i = 0; i < impls.size(); ++i) {
+    os << "| ";
+    for (std::size_t c = 0; c < stimulus_order.size(); ++c)
+      os << pad(col_prefix + "(" + stimulus_order[c] + ")", col_width[c]);
+  }
+  os << '\n';
+
+  for (const auto& resp : response_order) {
+    os << pad(row_prefix + "(" + resp + ")", row_width);
+    for (const auto& impl : impls) {
+      os << "| ";
+      for (std::size_t c = 0; c < stimulus_order.size(); ++c) {
+        const bool present = impl.relations->has(dir, stimulus_order[c], resp);
+        os << pad(present ? "✓" : "Ø", col_width[c]);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_discrepancies(const std::vector<Discrepancy>& found) {
+  std::ostringstream os;
+  if (found.empty()) {
+    os << "no discrepancies: the implementations' packet causal "
+          "relationships agree\n";
+    return os.str();
+  }
+  for (const auto& d : found) {
+    os << "[" << to_string(d.direction) << "] " << d.cell.stimulus << " -> "
+       << d.cell.response << ": present in " << d.present_in << " (seen "
+       << d.evidence.count << "x, first at "
+       << format_time(d.evidence.first_seen) << "), never in " << d.absent_in
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string render_response_profile(const mining::ResponseProfile& profile,
+                                    const std::string& stimulus_verb,
+                                    const std::string& response_verb) {
+  std::ostringstream os;
+  for (const auto& [stimulus, responses] : profile.by_stimulus) {
+    os << "after " << stimulus_verb << "(" << stimulus << "): ";
+    bool first = true;
+    for (const auto& r : responses) {
+      if (!first) os << ", ";
+      os << response_verb << "(" << r.label << ") "
+         << static_cast<int>(r.fraction * 100.0 + 0.5) << "% (" << r.count
+         << "x)";
+      first = false;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_relations(const mining::RelationSet& set) {
+  std::ostringstream os;
+  for (const auto dir : {mining::RelationDirection::kSendToRecv,
+                         mining::RelationDirection::kRecvToSend}) {
+    for (const auto& [cell, stats] : set.cells(dir)) {
+      os << to_string(dir) << ' ' << cell.stimulus << " -> " << cell.response
+         << " (" << stats.count << "x)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace nidkit::detect

@@ -1,0 +1,36 @@
+// Report rendering: the paper's ✓/Ø matrices and discrepancy listings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/detect.hpp"
+
+namespace nidkit::detect {
+
+/// Renders relationship matrices in the paper's presentation: one block of
+/// columns per implementation, columns are Snd(stimulus), rows are
+/// Rcv(response), each cell ✓ (relationship observed) or Ø (never
+/// observed). `dir` selects which mined direction fills the cells;
+/// kSendToRecv reproduces the published tables.
+std::string render_matrix(const std::vector<NamedRelations>& impls,
+                          const std::vector<std::string>& stimulus_order,
+                          const std::vector<std::string>& response_order,
+                          mining::RelationDirection dir,
+                          const std::string& row_prefix = "Rcv",
+                          const std::string& col_prefix = "Snd");
+
+/// One line per flagged discrepancy, deterministic order.
+std::string render_discrepancies(const std::vector<Discrepancy>& found);
+
+/// Compact single-set listing (debugging aid).
+std::string render_relations(const mining::RelationSet& set);
+
+/// Renders a per-stimulus response-set view ("after Snd(LSU): LSAck 62%,
+/// LSU 31%, Hello 7%") — the paper's §2 formalization of what an
+/// implementation expects as compliant responses.
+std::string render_response_profile(const mining::ResponseProfile& profile,
+                                    const std::string& stimulus_verb = "Snd",
+                                    const std::string& response_verb = "Rcv");
+
+}  // namespace nidkit::detect

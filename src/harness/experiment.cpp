@@ -1,0 +1,163 @@
+#include "harness/experiment.hpp"
+
+namespace nidkit::harness {
+
+mining::RelationSet mine_ospf(const ospf::BehaviorProfile& profile,
+                              const ExperimentConfig& config,
+                              const mining::KeyScheme& scheme) {
+  mining::CausalMiner miner(config.miner_config());
+  mining::RelationSet out;
+  for (const auto& spec : config.topologies) {
+    for (const auto seed : config.seeds) {
+      Scenario s = config.scenario_for(spec, seed);
+      s.protocol = Protocol::kOspf;
+      s.ospf_profile = profile;
+      const ScenarioResult run = run_scenario(s);
+      out.merge(miner.mine(run.log, scheme));
+    }
+  }
+  return out;
+}
+
+mining::RelationSet mine_rip(const rip::RipProfile& profile,
+                             const ExperimentConfig& config,
+                             const mining::KeyScheme& scheme) {
+  mining::CausalMiner miner(config.miner_config());
+  mining::RelationSet out;
+  for (const auto& spec : config.topologies) {
+    for (const auto seed : config.seeds) {
+      Scenario s = config.scenario_for(spec, seed);
+      s.protocol = Protocol::kRip;
+      s.rip_profile = profile;
+      const ScenarioResult run = run_scenario(s);
+      out.merge(miner.mine(run.log, scheme));
+    }
+  }
+  return out;
+}
+
+mining::RelationSet mine_bgp(const bgp::BgpProfile& profile,
+                             const ExperimentConfig& config,
+                             const mining::KeyScheme& scheme) {
+  mining::CausalMiner miner(config.miner_config());
+  mining::RelationSet out;
+  for (const auto& spec : config.topologies) {
+    for (const auto seed : config.seeds) {
+      Scenario s = config.scenario_for(spec, seed);
+      s.protocol = Protocol::kBgp;
+      s.bgp_profile = profile;
+      const ScenarioResult run = run_scenario(s);
+      out.merge(miner.mine(run.log, scheme));
+    }
+  }
+  return out;
+}
+
+std::vector<detect::NamedRelations> AuditResult::named() const {
+  std::vector<detect::NamedRelations> out;
+  for (const auto& name : names)
+    out.push_back(detect::NamedRelations{name, &by_impl.at(name)});
+  return out;
+}
+
+AuditResult audit_ospf(const std::vector<ospf::BehaviorProfile>& profiles,
+                       const ExperimentConfig& config,
+                       const mining::KeyScheme& scheme) {
+  AuditResult result;
+  for (const auto& p : profiles) {
+    result.names.push_back(p.name);
+    result.by_impl.emplace(p.name, mine_ospf(p, config, scheme));
+  }
+  result.discrepancies = detect::compare_all(result.named());
+  return result;
+}
+
+AuditResult audit_rip(const std::vector<rip::RipProfile>& profiles,
+                      const ExperimentConfig& config,
+                      const mining::KeyScheme& scheme) {
+  AuditResult result;
+  for (const auto& p : profiles) {
+    result.names.push_back(p.name);
+    result.by_impl.emplace(p.name, mine_rip(p, config, scheme));
+  }
+  result.discrepancies = detect::compare_all(result.named());
+  return result;
+}
+
+AuditResult audit_bgp(const std::vector<bgp::BgpProfile>& profiles,
+                      const ExperimentConfig& config,
+                      const mining::KeyScheme& scheme) {
+  AuditResult result;
+  for (const auto& p : profiles) {
+    result.names.push_back(p.name);
+    result.by_impl.emplace(p.name, mine_bgp(p, config, scheme));
+  }
+  result.discrepancies = detect::compare_all(result.named());
+  return result;
+}
+
+std::vector<SweepPoint> tdelay_sweep(const ospf::BehaviorProfile& profile,
+                                     const ExperimentConfig& base,
+                                     const std::vector<SimDuration>& tdelays,
+                                     const mining::KeyScheme& scheme) {
+  std::vector<SweepPoint> out;
+  for (const auto tdelay : tdelays) {
+    ExperimentConfig config = base;
+    config.tdelay = tdelay;
+    mining::CausalMiner miner(config.miner_config());
+
+    SweepPoint point;
+    point.tdelay = tdelay;
+    std::size_t mined_pairs = 0;
+    std::size_t truth_pairs = 0;
+    std::size_t correct_pairs = 0;
+    for (const auto& spec : config.topologies) {
+      for (const auto seed : config.seeds) {
+        Scenario s = config.scenario_for(spec, seed);
+        s.ospf_profile = profile;
+        const ScenarioResult run = run_scenario(s);
+        const auto pairs = miner.mine_pairs(run.log);
+        const auto acc = mining::score_pairs(run.log, pairs);
+        mined_pairs += acc.mined;
+        truth_pairs += acc.truth;
+        correct_pairs += acc.correct;
+        const auto set = miner.classify(run.log, pairs, scheme);
+        const auto cells = mining::score_cells(run.log, set, scheme);
+        point.mined_cells += cells.mined_cells;
+        point.unobserved_cells += cells.unobserved;
+        point.spurious_cells += cells.spurious;
+      }
+    }
+    point.precision =
+        mined_pairs == 0 ? 1.0
+                         : static_cast<double>(correct_pairs) / mined_pairs;
+    point.recall = truth_pairs == 0
+                       ? 1.0
+                       : static_cast<double>(correct_pairs) / truth_pairs;
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<ExtensivenessPoint> topology_extensiveness(
+    const ospf::BehaviorProfile& profile, const ExperimentConfig& config,
+    const mining::KeyScheme& scheme) {
+  mining::CausalMiner miner(config.miner_config());
+  mining::RelationSet cumulative;
+  std::vector<ExtensivenessPoint> out;
+  for (const auto& spec : config.topologies) {
+    const std::size_t before = cumulative.size();
+    for (const auto seed : config.seeds) {
+      Scenario s = config.scenario_for(spec, seed);
+      s.ospf_profile = profile;
+      const ScenarioResult run = run_scenario(s);
+      cumulative.merge(miner.mine(run.log, scheme));
+    }
+    out.push_back(ExtensivenessPoint{spec.name(),
+                                     cumulative.size() - before,
+                                     cumulative.size()});
+  }
+  return out;
+}
+
+}  // namespace nidkit::harness

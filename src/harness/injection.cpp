@@ -1,0 +1,227 @@
+#include "harness/injection.hpp"
+
+#include <limits>
+
+#include "mining/keying.hpp"
+#include "netsim/chaos.hpp"
+#include "packet/ospf_packet.hpp"
+
+namespace nidkit::harness {
+
+bool injection_supports(const std::string& s) {
+  return s == "Hello" || s == "DBD" || s == "LSR" || s == "LSU" ||
+         s == "LSU+gtSN" || s == "LSU-stale" || s == "LSAck" ||
+         s == "LSAck+gtSN";
+}
+
+namespace {
+
+/// Largest LS sequence number carried by an OSPF digest, or INT32_MIN.
+std::int32_t max_seq(const trace::OspfDigest& d) { return d.max_seq(); }
+
+}  // namespace
+
+InjectionOutcome inject_and_observe(const InjectionConfig& config) {
+  InjectionOutcome outcome;
+  outcome.stimulus = config.stimulus;
+
+  netsim::Simulator sim;
+  netsim::Network net(sim, config.seed);
+  const netsim::NodeId prober_node = net.add_node("prober");
+  const netsim::NodeId target_node = net.add_node("target");
+  net.add_p2p(prober_node, target_node);
+
+  trace::TraceLog log;
+  log.attach(net);
+  netsim::ChaosController chaos(net);
+  chaos.set_delay_all(config.tdelay);
+
+  // The prober runs a strict-RFC engine so that the adjacency it offers the
+  // target is uncontroversial.
+  ospf::RouterConfig prober_cfg;
+  prober_cfg.router_id = RouterId{9, 9, 9, 9};
+  prober_cfg.profile = ospf::strict_profile();
+  ospf::Router prober(net, prober_node, prober_cfg, config.seed * 3 + 1);
+
+  ospf::RouterConfig target_cfg;
+  target_cfg.router_id = RouterId{1, 1, 1, 1};
+  target_cfg.profile = config.target_profile;
+  ospf::Router target(net, target_node, target_cfg, config.seed * 3 + 2);
+
+  prober.start();
+  target.start();
+
+  sim.run_until(config.inject_at);
+  if (prober.neighbor_state(target_cfg.router_id) !=
+      ospf::NeighborState::kFull) {
+    return outcome;  // injected=false: no adjacency to probe over
+  }
+
+  // ---- Craft the stimulus from the prober's protocol knowledge.
+  const Ipv4Addr target_addr = net.iface(target_node, 0).address;
+  const auto prober_key = ospf::LsaKey{
+      ospf::LsaType::kRouter, Ipv4Addr{prober_cfg.router_id.value()},
+      prober_cfg.router_id};
+  const auto target_key = ospf::LsaKey{
+      ospf::LsaType::kRouter, Ipv4Addr{target_cfg.router_id.value()},
+      target_cfg.router_id};
+  const auto* own_entry = prober.lsdb().find(prober_key);
+  const auto* target_entry = prober.lsdb().find(target_key);
+  if (own_entry == nullptr || target_entry == nullptr) return outcome;
+
+  ospf::PacketBody body;
+  Ipv4Addr dst = target_addr;
+  std::int32_t stimulus_seq = std::numeric_limits<std::int32_t>::min();
+
+  if (config.stimulus == "Hello") {
+    ospf::HelloBody hello;
+    hello.network_mask = Ipv4Addr{255, 255, 255, 252};
+    hello.neighbors.push_back(target_cfg.router_id);
+    dst = kAllSpfRouters;
+    body = std::move(hello);
+  } else if (config.stimulus == "DBD") {
+    ospf::DbdBody dbd;
+    dbd.flags = ospf::kDbdFlagInit | ospf::kDbdFlagMore | ospf::kDbdFlagMs;
+    dbd.dd_sequence = 0xdead;
+    body = std::move(dbd);
+  } else if (config.stimulus == "LSR") {
+    ospf::LsRequestBody lsr;
+    lsr.requests.push_back(ospf::LsRequestEntry{
+        ospf::LsaType::kRouter, target_key.link_state_id,
+        target_key.advertising_router});
+    body = std::move(lsr);
+  } else if (config.stimulus == "LSU" || config.stimulus == "LSU+gtSN" ||
+             config.stimulus == "LSU-stale") {
+    ospf::Lsa lsa = own_entry->lsa;
+    if (config.stimulus == "LSU-stale") {
+      // A stale instance of the *target's* LSA, older than its database
+      // copy.
+      lsa = target_entry->lsa;
+      lsa.header.seq -= 1;
+    } else {
+      lsa.header.seq += 1;
+    }
+    lsa.header.age = 1;
+    lsa.finalize();
+    stimulus_seq = lsa.header.seq;
+    ospf::LsUpdateBody lsu;
+    lsu.lsas.push_back(std::move(lsa));
+    body = std::move(lsu);
+  } else if (config.stimulus == "LSAck" || config.stimulus == "LSAck+gtSN") {
+    ospf::LsaHeader h = target_entry->lsa.header;
+    if (config.stimulus == "LSAck+gtSN") {
+      h.seq += 1;  // acknowledge an instance newer than anything sent
+    }
+    stimulus_seq = h.seq;
+    ospf::LsAckBody ack;
+    ack.lsa_headers.push_back(h);
+    body = std::move(ack);
+  } else {
+    return outcome;  // unsupported stimulus
+  }
+
+  const ospf::OspfPacket pkt =
+      make_packet(prober_cfg.router_id, kBackboneArea, std::move(body));
+  netsim::Frame frame;
+  frame.dst = dst;
+  frame.protocol = ospf::kIpProtoOspf;
+  frame.payload = encode(pkt);
+  const SimTime injected_at = sim.now();
+  net.send(prober_node, 0, std::move(frame));
+  outcome.injected = true;
+
+  sim.run_until(injected_at + config.observe_window);
+
+  // ---- Classify everything the prober received inside the window.
+  for (const auto& rec : log.records()) {
+    if (rec.node != prober_node || rec.is_send()) continue;
+    if (rec.time <= injected_at) continue;
+    const auto* o = rec.ospf();
+    if (o == nullptr) continue;
+    std::string label = mining::ospf_type_label(o->pkt_type);
+    outcome.responses.insert(label);
+    if ((o->pkt_type == 4 || o->pkt_type == 5) && !o->lsas.empty() &&
+        stimulus_seq != std::numeric_limits<std::int32_t>::min() &&
+        max_seq(*o) > stimulus_seq) {
+      outcome.responses.insert(label + "+gtSN");
+    }
+  }
+  return outcome;
+}
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kConfirmed: return "CONFIRMED";
+    case Verdict::kNotReproduced: return "not-reproduced";
+    case Verdict::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+std::string stimulus_for_cell(const mining::RelationCell& cell,
+                              mining::RelationDirection direction) {
+  // The stimulus of a send->recv relationship is what the flagged
+  // implementation *sends*; probing means synthesizing that packet toward
+  // the other implementation. recv->send cells invert the roles: the
+  // stimulus is what the implementation received — also what we inject.
+  (void)direction;
+  const std::string& s = cell.stimulus;
+  const bool gtsn_response = cell.response.find("+gtSN") != std::string::npos;
+  if (s == "LSU" && gtsn_response) return "LSU-stale";
+  if (s == "LSAck" && gtsn_response) return "LSAck+gtSN";
+  if (injection_supports(s)) return s;
+  // Strip refinements like "@Exchange" or "[router]".
+  const auto cut = s.find_first_of("@[+");
+  if (cut != std::string::npos) {
+    const std::string base = s.substr(0, cut);
+    if (injection_supports(base)) return base;
+  }
+  return "";
+}
+
+std::vector<ValidationEntry> validate_discrepancies(
+    const std::vector<detect::Discrepancy>& discrepancies,
+    const std::map<std::string, ospf::BehaviorProfile>& impls,
+    const InjectionConfig& base) {
+  // Probe cache: (implementation, stimulus) -> outcome.
+  std::map<std::pair<std::string, std::string>, InjectionOutcome> cache;
+  auto probe = [&](const std::string& impl,
+                   const std::string& stimulus) -> InjectionOutcome {
+    const auto key = std::make_pair(impl, stimulus);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    InjectionConfig config = base;
+    config.stimulus = stimulus;
+    config.target_profile = impls.at(impl);
+    auto outcome = inject_and_observe(config);
+    cache.emplace(key, outcome);
+    return outcome;
+  };
+
+  std::vector<ValidationEntry> out;
+  for (const auto& d : discrepancies) {
+    ValidationEntry entry;
+    entry.discrepancy = d;
+    entry.stimulus = stimulus_for_cell(d.cell, d.direction);
+    if (entry.stimulus.empty() || !impls.count(d.present_in) ||
+        !impls.count(d.absent_in)) {
+      entry.verdict = Verdict::kUnsupported;
+      out.push_back(std::move(entry));
+      continue;
+    }
+    entry.outcome_present = probe(d.present_in, entry.stimulus);
+    entry.outcome_absent = probe(d.absent_in, entry.stimulus);
+    if (!entry.outcome_present.injected || !entry.outcome_absent.injected) {
+      entry.verdict = Verdict::kNotReproduced;
+    } else if (entry.outcome_present.responses !=
+               entry.outcome_absent.responses) {
+      entry.verdict = Verdict::kConfirmed;
+    } else {
+      entry.verdict = Verdict::kNotReproduced;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace nidkit::harness

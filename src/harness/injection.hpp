@@ -1,0 +1,97 @@
+// Packet-injection validation (the paper's future work, §3).
+//
+// A mined discrepancy says: implementation A exhibits stimulus→response
+// relationship (S → R), implementation B never does. To verify that this
+// is a real behavioural difference rather than a mining artifact, we build
+// a network containing one router of the *target* implementation plus a
+// prober — a full protocol engine under harness control — establish a real
+// adjacency, inject a crafted packet of class S, and observe whether the
+// target answers with class R within the causal window.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/detect.hpp"
+#include "harness/scenario.hpp"
+
+namespace nidkit::harness {
+
+/// Stimulus classes the injector can synthesize. Labels match the key
+/// schemes' labels so mined discrepancy cells can be validated directly.
+///   "Hello"       periodic hello
+///   "DBD"         out-of-sequence database description
+///   "LSR"         request for the target's router-LSA
+///   "LSU"         fresh instance (seq+1) of the prober's router-LSA
+///   "LSU+gtSN"    alias of "LSU" (the crafted instance always carries a
+///                 greater LS-SN than anything previously sent)
+///   "LSU-stale"   stale instance (seq-1) of the target's router-LSA
+///   "LSAck"       unsolicited ack of the target's current router-LSA
+///   "LSAck+gtSN"  ack carrying seq+1 of the target's router-LSA
+bool injection_supports(const std::string& stimulus_label);
+
+struct InjectionConfig {
+  ospf::BehaviorProfile target_profile;
+  std::string stimulus;
+  SimDuration tdelay = 900ms;
+  /// Observation window after injection; responses later than this are
+  /// not attributed (mirrors the miner's threshold + horizon).
+  SimDuration observe_window = 7s;
+  /// When to inject; must leave room for adjacency establishment.
+  SimTime inject_at = 60s;
+  std::uint64_t seed = 7;
+};
+
+struct InjectionOutcome {
+  bool injected = false;  ///< false if the adjacency never formed
+  std::string stimulus;
+  /// Response classes observed at the prober within the window, labeled by
+  /// packet type with the +gtSN refinement relative to the stimulus.
+  std::set<std::string> responses;
+
+  bool saw(const std::string& label) const { return responses.count(label); }
+};
+
+/// Runs the probe. Deterministic in (config, seed).
+InjectionOutcome inject_and_observe(const InjectionConfig& config);
+
+// ---- Automated discrepancy validation ----
+//
+// Maps each mined discrepancy to a synthesizable stimulus, probes *both*
+// implementations, and classifies the flag:
+//   kConfirmed      — the implementations demonstrably respond differently
+//                     (the exhibiting one produces the response class, the
+//                     other does not);
+//   kNotReproduced  — both respond alike in the 2-router probe (a mining
+//                     artifact, or a behaviour needing multi-router
+//                     context);
+//   kUnsupported    — no synthesizer exists for the stimulus class.
+
+enum class Verdict { kConfirmed, kNotReproduced, kUnsupported };
+
+std::string to_string(Verdict v);
+
+struct ValidationEntry {
+  detect::Discrepancy discrepancy;
+  std::string stimulus;  ///< what was injected (empty if kUnsupported)
+  InjectionOutcome outcome_present;  ///< probe of the exhibiting impl
+  InjectionOutcome outcome_absent;   ///< probe of the lacking impl
+  Verdict verdict = Verdict::kUnsupported;
+};
+
+/// Picks the injection stimulus for a discrepancy cell, or empty if the
+/// class cannot be synthesized in a 2-router probe.
+std::string stimulus_for_cell(const mining::RelationCell& cell,
+                              mining::RelationDirection direction);
+
+/// Validates every discrepancy against the named implementations.
+/// Deterministic; probes each (implementation, stimulus) pair once and
+/// caches.
+std::vector<ValidationEntry> validate_discrepancies(
+    const std::vector<detect::Discrepancy>& discrepancies,
+    const std::map<std::string, ospf::BehaviorProfile>& impls,
+    const InjectionConfig& base = {});
+
+}  // namespace nidkit::harness

@@ -1,0 +1,286 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nidkit::harness {
+
+std::size_t expected_adjacency_endpoints(const topo::Spec& spec) {
+  const std::size_t n = spec.routers;
+  switch (spec.kind) {
+    case topo::Kind::kLinear:
+      return 2 * (n - 1);
+    case topo::Kind::kMesh:
+      return n * (n - 1);
+    case topo::Kind::kRing:
+      return 2 * n;
+    case topo::Kind::kStar:
+    case topo::Kind::kTree:
+      return 2 * (n - 1);
+    case topo::Kind::kLan:
+      // Adjacencies form with DR and BDR only: the DR and BDR are adjacent
+      // to everyone (n-1 each), others to the two of them.
+      return n <= 2 ? 2 : 2 * (n - 1) + 2 * (n - 2);
+  }
+  return 0;
+}
+
+ScenarioResult run_scenario(const Scenario& scenario) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, scenario.seed);
+  const topo::Built built = topo::build(net, scenario.topology);
+
+  trace::TraceLog log;
+  log.attach(net);
+
+  netsim::ChaosController chaos(net);
+  chaos.set_delay_all(scenario.tdelay);
+  for (netsim::SegmentId s = 0; s < net.segment_count(); ++s) {
+    if (scenario.link_jitter.count() > 0)
+      net.fault(s).jitter = scenario.link_jitter;
+    if (scenario.link_loss > 0) net.fault(s).loss = scenario.link_loss;
+  }
+
+  ScenarioResult result;
+  result.routers = built.nodes.size();
+  result.segments = built.segments.size();
+
+  Rng seeder(scenario.seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  if (scenario.protocol == Protocol::kOspf) {
+    std::vector<std::unique_ptr<ospf::Router>> routers;
+    routers.reserve(built.nodes.size());
+    for (std::size_t i = 0; i < built.nodes.size(); ++i) {
+      ospf::RouterConfig cfg;
+      const auto b = static_cast<std::uint8_t>(i + 1);
+      cfg.router_id = RouterId{b, b, b, b};
+      cfg.profile = scenario.ospf_profile;
+      if (scenario.lsa_refresh.count() > 0)
+        cfg.profile.lsa_refresh_interval = scenario.lsa_refresh;
+      routers.push_back(std::make_unique<ospf::Router>(
+          net, built.nodes[i], cfg, seeder.next()));
+    }
+    if (scenario.state_probe) {
+      log.set_state_prober([&routers](netsim::NodeId node) {
+        return node < routers.size() ? routers[node]->max_neighbor_state()
+                                     : -1;
+      });
+    }
+    // Staggered startup, as daemons in containers never boot in lockstep.
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      ospf::Router* r = routers[i].get();
+      sim.schedule(seeder.jitter(0ms, 2s), [r] { r->start(); });
+    }
+    // Churn workload: alternating routers inject external LSAs.
+    std::uint32_t churn_net = 0;
+    for (const SimTime when : scenario.churn_times) {
+      const std::size_t who = churn_net % routers.size();
+      const std::uint32_t third_octet = 100 + churn_net;
+      ++churn_net;
+      ospf::Router* r = routers[who].get();
+      sim.schedule_at(when, [r, third_octet] {
+        r->originate_external(
+            Ipv4Addr{192, 168, static_cast<std::uint8_t>(third_octet), 0},
+            Ipv4Addr{255, 255, 255, 0}, 10);
+      });
+    }
+
+    // Convergence probe: sample adjacency counts once per simulated second
+    // and record the first instant the expected count is reached.
+    const std::size_t expected_endpoints =
+        expected_adjacency_endpoints(scenario.topology);
+    auto count_full = [&routers] {
+      std::size_t full = 0;
+      for (const auto& r : routers)
+        for (const auto& oi : r->interfaces())
+          for (const auto& [id, n] : oi.neighbors)
+            if (n.state == ospf::NeighborState::kFull) ++full;
+      return full;
+    };
+    std::function<void()> probe = [&] {
+      if (result.convergence_time.count() < 0 &&
+          count_full() >= expected_endpoints) {
+        result.convergence_time = sim.now();
+        return;  // stop probing once converged
+      }
+      if (result.convergence_time.count() < 0 &&
+          sim.now() < scenario.duration)
+        sim.schedule(1s, probe);
+    };
+    sim.schedule(1s, probe);
+
+    sim.run_until(scenario.duration);
+
+    for (const auto& r : routers) {
+      for (const auto& oi : r->interfaces())
+        for (const auto& [id, n] : oi.neighbors)
+          if (n.state == ospf::NeighborState::kFull)
+            ++result.full_adjacencies;
+      const auto& s = r->stats();
+      for (int t = 0; t <= ospf::kNumPacketTypes; ++t) {
+        result.ospf_totals.tx_by_type[t] += s.tx_by_type[t];
+        result.ospf_totals.rx_by_type[t] += s.rx_by_type[t];
+      }
+      result.ospf_totals.lsa_installs += s.lsa_installs;
+      result.ospf_totals.lsa_refreshes += s.lsa_refreshes;
+      result.ospf_totals.retransmissions += s.retransmissions;
+      result.ospf_totals.duplicates_received += s.duplicates_received;
+      result.ospf_totals.stale_received += s.stale_received;
+      result.ospf_totals.decode_failures += s.decode_failures;
+    }
+    result.converged = result.full_adjacencies >=
+                       expected_adjacency_endpoints(scenario.topology);
+
+    // Route-level interoperability check: all routers must agree on the
+    // cost to every prefix.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> costs;
+    result.routes_consistent = true;
+    bool first_router = true;
+    for (const auto& r : routers) {
+      std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> mine;
+      for (const auto& route : r->routes())
+        mine[{route.prefix.value(), route.mask.value()}] = route.cost;
+      if (first_router) {
+        costs = std::move(mine);
+        first_router = false;
+        continue;
+      }
+      // Same destinations reachable (costs legitimately differ per vantage).
+      if (mine.size() != costs.size()) result.routes_consistent = false;
+      for (const auto& [key, cost] : costs)
+        if (mine.find(key) == mine.end()) result.routes_consistent = false;
+    }
+  } else if (scenario.protocol == Protocol::kBgp) {
+    // BGP assumes a reliable, ordered transport (we do not model TCP
+    // recovery), so BGP scenarios run loss-free and in-order regardless of
+    // the configured fault model.
+    for (netsim::SegmentId s = 0; s < net.segment_count(); ++s) {
+      net.fault(s).loss = 0.0;
+      net.fault(s).fifo = true;
+    }
+
+    std::vector<std::unique_ptr<bgp::BgpRouter>> routers;
+    routers.reserve(built.nodes.size());
+    for (std::size_t i = 0; i < built.nodes.size(); ++i) {
+      bgp::BgpConfig cfg;
+      cfg.as_number = static_cast<std::uint16_t>(65001 + i);
+      const auto b = static_cast<std::uint8_t>(i + 1);
+      cfg.router_id = RouterId{b, b, b, b};
+      cfg.profile = scenario.bgp_profile;
+      routers.push_back(std::make_unique<bgp::BgpRouter>(
+          net, built.nodes[i], cfg, seeder.next()));
+    }
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      bgp::BgpRouter* r = routers[i].get();
+      const auto third = static_cast<std::uint8_t>(10 + i);
+      sim.schedule(seeder.jitter(0ms, 2s), [r, third] {
+        r->start();
+        // Every AS originates one prefix, as real networks do.
+        r->originate(bgp::Prefix{Ipv4Addr{10, 10, third, 0}, 24});
+      });
+    }
+    // Churn: the first churn time injects the long-path announcement (the
+    // 2009-incident stimulus); later churns are ordinary originations.
+    std::uint32_t churn_net = 0;
+    for (const SimTime when : scenario.churn_times) {
+      const std::size_t who = churn_net % routers.size();
+      const std::uint32_t third_octet = 200 + churn_net;
+      const bool longpath =
+          churn_net == 0 && scenario.bgp_longpath_prepend > 0;
+      ++churn_net;
+      bgp::BgpRouter* r = routers[who].get();
+      const std::size_t prepend =
+          longpath ? scenario.bgp_longpath_prepend : 1;
+      sim.schedule_at(when, [r, third_octet, prepend] {
+        r->originate(
+            bgp::Prefix{
+                Ipv4Addr{192, 168, static_cast<std::uint8_t>(third_octet), 0},
+                24},
+            prepend);
+      });
+    }
+
+    sim.run_until(scenario.duration);
+
+    result.converged = true;
+    for (const auto& r : routers) {
+      if (!r->all_sessions_established()) result.converged = false;
+      const auto& s = r->stats();
+      result.bgp_totals.tx_open += s.tx_open;
+      result.bgp_totals.rx_open += s.rx_open;
+      result.bgp_totals.tx_update += s.tx_update;
+      result.bgp_totals.rx_update += s.rx_update;
+      result.bgp_totals.tx_keepalive += s.tx_keepalive;
+      result.bgp_totals.rx_keepalive += s.rx_keepalive;
+      result.bgp_totals.tx_notification += s.tx_notification;
+      result.bgp_totals.rx_notification += s.rx_notification;
+      result.bgp_totals.session_resets += s.session_resets;
+      result.bgp_totals.loop_rejects += s.loop_rejects;
+      result.bgp_totals.long_path_rejects += s.long_path_rejects;
+      result.bgp_totals.routes_selected += s.routes_selected;
+    }
+    // Route-level consistency: every router reaches every originated
+    // prefix (only checked when nothing is flapping).
+    result.routes_consistent = true;
+    const std::size_t expected = routers.size();
+    for (const auto& r : routers) {
+      std::size_t base_prefixes = 0;
+      for (const auto& route : r->routes())
+        if ((route.prefix.network.value() >> 24) == 10) ++base_prefixes;
+      if (base_prefixes < expected) result.routes_consistent = false;
+    }
+  } else {
+    std::vector<std::unique_ptr<rip::RipRouter>> routers;
+    routers.reserve(built.nodes.size());
+    for (std::size_t i = 0; i < built.nodes.size(); ++i) {
+      routers.push_back(std::make_unique<rip::RipRouter>(
+          net, built.nodes[i], scenario.rip_profile, seeder.next()));
+    }
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      rip::RipRouter* r = routers[i].get();
+      sim.schedule(seeder.jitter(0ms, 2s), [r] { r->start(); });
+    }
+    std::uint32_t churn_net = 0;
+    for (const SimTime when : scenario.churn_times) {
+      const std::size_t who = churn_net % routers.size();
+      const std::uint32_t third_octet = 100 + churn_net;
+      ++churn_net;
+      rip::RipRouter* r = routers[who].get();
+      sim.schedule_at(when, [r, third_octet] {
+        r->originate(
+            Ipv4Addr{192, 168, static_cast<std::uint8_t>(third_octet), 0},
+            Ipv4Addr{255, 255, 255, 0});
+      });
+    }
+
+    sim.run_until(scenario.duration);
+
+    std::size_t expected_prefixes = net.segment_count() +
+                                    scenario.churn_times.size();
+    result.routes_consistent = true;
+    for (const auto& r : routers) {
+      std::size_t reachable = 0;
+      for (const auto& route : r->routes())
+        if (route.metric < rip::kInfinityMetric) ++reachable;
+      if (reachable < expected_prefixes) result.routes_consistent = false;
+      const auto& s = r->stats();
+      result.rip_totals.tx_requests += s.tx_requests;
+      result.rip_totals.tx_responses += s.tx_responses;
+      result.rip_totals.rx_requests += s.rx_requests;
+      result.rip_totals.rx_responses += s.rx_responses;
+      result.rip_totals.routes_learned += s.routes_learned;
+      result.rip_totals.routes_expired += s.routes_expired;
+      result.rip_totals.triggered += s.triggered;
+    }
+    result.converged = result.routes_consistent;
+  }
+
+  result.frames_delivered = net.frames_delivered();
+  result.frames_dropped = net.frames_dropped();
+  result.log = std::move(log);
+  // The network (and its tap pointing into the dead TraceLog) dies here;
+  // the moved-out log and statistics are self-contained.
+  return result;
+}
+
+}  // namespace nidkit::harness

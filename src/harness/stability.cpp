@@ -1,0 +1,80 @@
+#include "harness/stability.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nidkit::harness {
+
+namespace {
+
+/// Mined relation set for one seed (union over the config's topologies).
+mining::RelationSet mine_one_seed(const ospf::BehaviorProfile& profile,
+                                  const ExperimentConfig& config,
+                                  const mining::KeyScheme& scheme,
+                                  std::uint64_t seed) {
+  mining::CausalMiner miner(config.miner_config());
+  mining::RelationSet out;
+  for (const auto& spec : config.topologies) {
+    Scenario s = config.scenario_for(spec, seed);
+    s.ospf_profile = profile;
+    const ScenarioResult run = run_scenario(s);
+    out.merge(miner.mine(run.log, scheme));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CellStability> ospf_relation_stability(
+    const ospf::BehaviorProfile& profile, const ExperimentConfig& config,
+    const mining::KeyScheme& scheme) {
+  using Key = std::pair<mining::RelationDirection, mining::RelationCell>;
+  std::map<Key, CellStability> acc;
+
+  for (const auto seed : config.seeds) {
+    const auto set = mine_one_seed(profile, config, scheme, seed);
+    for (const auto dir : {mining::RelationDirection::kSendToRecv,
+                           mining::RelationDirection::kRecvToSend}) {
+      for (const auto& [cell, stats] : set.cells(dir)) {
+        auto& entry = acc[{dir, cell}];
+        entry.direction = dir;
+        entry.cell = cell;
+        ++entry.seeds_seen;
+        entry.total_count += stats.count;
+      }
+    }
+  }
+
+  std::vector<CellStability> out;
+  out.reserve(acc.size());
+  for (auto& [key, entry] : acc) {
+    entry.seeds_total = config.seeds.size();
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CellStability& a, const CellStability& b) {
+              if (a.seeds_seen != b.seeds_seen)
+                return a.seeds_seen > b.seeds_seen;
+              if (a.total_count != b.total_count)
+                return a.total_count > b.total_count;
+              if (a.direction != b.direction)
+                return a.direction < b.direction;
+              return a.cell < b.cell;
+            });
+  return out;
+}
+
+mining::RelationSet stable_relations(const ospf::BehaviorProfile& profile,
+                                     const ExperimentConfig& config,
+                                     const mining::KeyScheme& scheme,
+                                     double min_fraction) {
+  const auto stability = ospf_relation_stability(profile, config, scheme);
+  mining::RelationSet out;
+  for (const auto& s : stability) {
+    if (s.fraction() + 1e-9 < min_fraction) continue;
+    out.add(s.direction, s.cell, SimTime{0}, 0, 0);
+  }
+  return out;
+}
+
+}  // namespace nidkit::harness

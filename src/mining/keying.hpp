@@ -1,0 +1,84 @@
+// Keying schemes: how a causal pair is mapped to relationship-cell labels.
+//
+// The paper computes relationships at increasing granularity: by OSPF
+// packet type (Table 1), refined by packet fields such as "carries an LSA
+// with a greater LS sequence number" (Table 2), and — as future work — by
+// router state. Each granularity is a KeyScheme here. A scheme may key the
+// response *relative to the stimulus* (pair predicates), which is how the
+// greater-LS-SN refinement works.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace nidkit::mining {
+
+struct KeyScheme {
+  std::string name;
+
+  /// Label for a stimulus record, or nullopt if the record does not
+  /// participate in this scheme (e.g. a non-OSPF frame).
+  std::function<std::optional<std::string>(const trace::PacketRecord&)>
+      stimulus;
+
+  /// Label for a response record given its stimulus, or nullopt if the
+  /// pair is outside the scheme.
+  std::function<std::optional<std::string>(const trace::PacketRecord& stim,
+                                           const trace::PacketRecord& resp)>
+      response;
+};
+
+/// Table 1 granularity: OSPF general packet types
+/// ("Hello", "DBD", "LSR", "LSU", "LSAck").
+KeyScheme ospf_type_scheme();
+
+/// Table 2 granularity: stimulus ∈ {LSU, LSAck}; response ∈ {LSU, LSAck}
+/// carrying an LSA whose LS sequence number exceeds every LS-SN in the
+/// stimulus. Labels: "LSU", "LSAck" → "LSU+gtSN", "LSAck+gtSN".
+KeyScheme ospf_greater_lssn_scheme();
+
+/// Future-work granularity: packet type conditioned on the observing
+/// router's highest neighbor FSM state at the event
+/// (e.g. "LSU@Exchange", "Hello@Full"). Requires a state prober on the
+/// trace.
+KeyScheme ospf_state_scheme();
+
+/// LSA-type refinement: packet type plus the types of LSAs carried
+/// (e.g. "LSU[router]", "LSU[external]").
+KeyScheme ospf_lsa_type_scheme();
+
+/// DBD-flag refinement (the paper's "more packet fields" future work):
+/// database description packets are keyed by their I/M/MS bits — e.g.
+/// "DBD(I,M,MS)" for the ExStart negotiation probe, "DBD(MS)" for a
+/// master's final batch, "DBD()" for a slave's final echo. Non-DBD packets
+/// keep their type labels.
+KeyScheme ospf_dbd_flags_scheme();
+
+/// RIP granularity: command names ("Request", "Response"), with the
+/// whole-table request distinguished as "Request(full)".
+KeyScheme rip_command_scheme();
+
+/// RIP field-refined granularity: Responses carrying an infinity-metric
+/// (16) entry are labeled "Response(poison)" — poisoned-reverse and
+/// route-withdrawal traffic a plain split-horizon implementation never
+/// emits in steady state.
+KeyScheme rip_refined_scheme();
+
+/// BGP granularity: message type names, with UPDATEs refined by payload —
+/// "UPDATE+longpath" for AS_PATHs longer than `longpath_threshold`,
+/// "UPDATE+withdraw" for pure withdrawals. Captures the paper's motivating
+/// 2009 incident: Rcv(UPDATE+longpath) → Snd(NOTIFICATION) appears only in
+/// implementations with an AS_PATH length limit.
+KeyScheme bgp_message_scheme(std::size_t longpath_threshold = 100);
+
+/// Human-readable OSPF packet-type label for a wire type code.
+std::string ospf_type_label(std::uint8_t wire_type);
+
+/// Neighbor-state label used by ospf_state_scheme (wraps
+/// ospf::to_string(NeighborState)).
+std::string state_label(int state);
+
+}  // namespace nidkit::mining

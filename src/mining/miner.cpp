@@ -1,0 +1,166 @@
+#include "mining/miner.hpp"
+
+#include <map>
+#include <set>
+
+namespace nidkit::mining {
+
+MinedPairs CausalMiner::mine_pairs(const trace::TraceLog& log) const {
+  MinedPairs out;
+  const auto& recs = log.records();
+  const SimDuration threshold = config_.threshold();
+  const bool capped = config_.horizon.count() > 0;
+
+  // Group record indices per node; capture order is time order.
+  std::map<netsim::NodeId, std::vector<std::size_t>> per_node;
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    per_node[recs[i].node].push_back(i);
+
+  for (const auto& [node, idx] : per_node) {
+    // Split the node's records by direction, preserving time order, so the
+    // "first opposite-direction record past the threshold" is a single
+    // monotone binary search per stimulus.
+    std::vector<std::size_t> sends;
+    std::vector<std::size_t> recvs;
+    for (const std::size_t i : idx)
+      (recs[i].is_send() ? sends : recvs).push_back(i);
+
+    auto attribute = [&](const std::vector<std::size_t>& stimuli,
+                         const std::vector<std::size_t>& responses,
+                         std::vector<CausalPair>& sink) {
+      std::size_t cursor = 0;  // stimuli are time-ordered, so this advances
+      for (const std::size_t si : stimuli) {
+        const SimTime earliest = recs[si].time + threshold;
+        while (cursor < responses.size() &&
+               recs[responses[cursor]].time < earliest)
+          ++cursor;
+        if (cursor == responses.size()) break;
+        const auto& resp = recs[responses[cursor]];
+        if (capped && resp.time > earliest + config_.horizon) continue;
+        sink.push_back(CausalPair{si, responses[cursor]});
+      }
+    };
+    attribute(sends, recvs, out.send_to_recv);
+    attribute(recvs, sends, out.recv_to_send);
+  }
+  return out;
+}
+
+RelationSet CausalMiner::classify(const trace::TraceLog& log,
+                                  const MinedPairs& pairs,
+                                  const KeyScheme& scheme) const {
+  RelationSet set;
+  const auto& recs = log.records();
+  auto apply = [&](const std::vector<CausalPair>& list,
+                   RelationDirection dir) {
+    for (const auto& p : list) {
+      const auto& stim = recs[p.stimulus_index];
+      const auto& resp = recs[p.response_index];
+      const auto skey = scheme.stimulus(stim);
+      if (!skey) continue;
+      const auto rkey = scheme.response(stim, resp);
+      if (!rkey) continue;
+      set.add(dir, RelationCell{*skey, *rkey}, stim.time, p.stimulus_index,
+              p.response_index);
+    }
+  };
+  apply(pairs.send_to_recv, RelationDirection::kSendToRecv);
+  apply(pairs.recv_to_send, RelationDirection::kRecvToSend);
+  return set;
+}
+
+RelationSet CausalMiner::mine(const trace::TraceLog& log,
+                              const KeyScheme& scheme) const {
+  return classify(log, mine_pairs(log), scheme);
+}
+
+MinedPairs true_pairs(const trace::TraceLog& log) {
+  MinedPairs out;
+  const auto& recs = log.records();
+  // Per node: map frame id -> latest record index that carried it, per
+  // direction, so provenance lookups are O(log n).
+  std::map<std::pair<netsim::NodeId, std::uint64_t>, std::size_t> recv_by_id;
+  std::map<std::pair<netsim::NodeId, std::uint64_t>, std::size_t> send_by_id;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    auto key = std::make_pair(r.node, r.frame_id);
+    if (r.is_send())
+      send_by_id.emplace(key, i);  // first transmission wins
+    else
+      recv_by_id.emplace(key, i);
+  }
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    if (r.caused_by == 0) continue;
+    if (r.is_send()) {
+      // This node sent a frame caused by a frame it received earlier:
+      // recv→send ground truth at this node.
+      auto it = recv_by_id.find({r.node, r.caused_by});
+      if (it != recv_by_id.end())
+        out.recv_to_send.push_back(CausalPair{it->second, i});
+    } else {
+      // This node received a frame that a *peer* sent in response to a
+      // frame this node transmitted: send→recv ground truth here.
+      auto it = send_by_id.find({r.node, r.caused_by});
+      if (it != send_by_id.end())
+        out.send_to_recv.push_back(CausalPair{it->second, i});
+    }
+  }
+  return out;
+}
+
+PairAccuracy score_pairs(const trace::TraceLog& log, const MinedPairs& mined) {
+  const auto& recs = log.records();
+  PairAccuracy acc;
+  const MinedPairs truth = true_pairs(log);
+  acc.truth = truth.send_to_recv.size() + truth.recv_to_send.size();
+  acc.mined = mined.send_to_recv.size() + mined.recv_to_send.size();
+
+  std::set<std::pair<std::size_t, std::size_t>> truth_set;
+  for (const auto& p : truth.send_to_recv)
+    truth_set.emplace(p.stimulus_index, p.response_index);
+  for (const auto& p : truth.recv_to_send)
+    truth_set.emplace(p.stimulus_index, p.response_index);
+
+  auto check = [&](const std::vector<CausalPair>& list) {
+    for (const auto& p : list) {
+      // A mined pair is correct if provenance directly confirms it...
+      if (truth_set.count({p.stimulus_index, p.response_index})) {
+        ++acc.correct;
+        continue;
+      }
+      // ...or if the response's cause chain points at the stimulus frame
+      // (covers multi-record frames, e.g. LAN fan-out).
+      const auto& stim = recs[p.stimulus_index];
+      const auto& resp = recs[p.response_index];
+      if (resp.caused_by != 0 && resp.caused_by == stim.frame_id)
+        ++acc.correct;
+    }
+  };
+  check(mined.send_to_recv);
+  check(mined.recv_to_send);
+  return acc;
+}
+
+CellAccuracy score_cells(const trace::TraceLog& log, const RelationSet& mined,
+                         const KeyScheme& scheme) {
+  CellAccuracy acc;
+  MinerConfig dummy;  // classification does not depend on the window
+  CausalMiner miner(dummy);
+  const RelationSet truth = miner.classify(log, true_pairs(log), scheme);
+
+  for (const auto dir :
+       {RelationDirection::kSendToRecv, RelationDirection::kRecvToSend}) {
+    for (const auto& [cell, stats] : truth.cells(dir)) {
+      ++acc.true_cells;
+      if (mined.find(dir, cell) == nullptr) ++acc.unobserved;
+    }
+    for (const auto& [cell, stats] : mined.cells(dir)) {
+      ++acc.mined_cells;
+      if (truth.find(dir, cell) == nullptr) ++acc.spurious;
+    }
+  }
+  return acc;
+}
+
+}  // namespace nidkit::mining

@@ -1,0 +1,113 @@
+// The causal miner: the paper's core algorithm.
+//
+// Stage 1 (mine_pairs) applies the delay-window attribution rule to a
+// packet trace: for every packet a router sent (received), the first packet
+// the same router received (sent) at least `window_factor * TDelay` later —
+// but no later than `horizon` past that threshold — is taken as causally
+// related. The TDelay is injected by the chaos controller, exactly as the
+// paper injects it with Pumba; the 2× factor covers the stimulus's own
+// one-way delay plus the response's.
+//
+// Stage 2 (KeyScheme, see keying.hpp) maps each causal pair to zero or more
+// relationship cells; RelationSet unions them.
+//
+// Because the simulator's protocol engines stamp every frame with ground-
+// truth provenance (Frame::caused_by), the miner's output can also be
+// *scored* — precision/recall the paper could not measure on black-box
+// daemons. bench/fig_tdelay_sweep uses this to reproduce the paper's
+// "unobserved relationships plateau at 900 ms" calibration claim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mining/keying.hpp"
+#include "mining/relation.hpp"
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace nidkit::mining {
+
+using namespace std::chrono_literals;
+
+struct MinerConfig {
+  /// The fixed one-way delay injected on every interface.
+  SimDuration tdelay = 900ms;
+  /// Attribution threshold = window_factor * tdelay (the paper uses 2).
+  double window_factor = 2.0;
+  /// Maximum lookahead past the threshold. The paper bounds TDelay by the
+  /// retransmission timeout; we make the bound explicit so a response
+  /// minutes later is never attributed. 0 disables the cap.
+  SimDuration horizon = 5s;
+
+  SimDuration threshold() const {
+    return SimDuration{
+        static_cast<std::int64_t>(window_factor * tdelay.count())};
+  }
+};
+
+/// One attributed (stimulus, response) pair; indices into the trace.
+struct CausalPair {
+  std::size_t stimulus_index = 0;
+  std::size_t response_index = 0;
+};
+
+struct MinedPairs {
+  std::vector<CausalPair> send_to_recv;
+  std::vector<CausalPair> recv_to_send;
+};
+
+class CausalMiner {
+ public:
+  explicit CausalMiner(MinerConfig config) : config_(config) {}
+
+  const MinerConfig& config() const { return config_; }
+
+  /// Stage 1: delay-window attribution over every router in the trace.
+  MinedPairs mine_pairs(const trace::TraceLog& log) const;
+
+  /// Stages 1+2: mined relationship set under `scheme`.
+  RelationSet mine(const trace::TraceLog& log, const KeyScheme& scheme) const;
+
+  /// Applies a key scheme to already-mined pairs (lets one expensive
+  /// mine_pairs feed several schemes).
+  RelationSet classify(const trace::TraceLog& log, const MinedPairs& pairs,
+                       const KeyScheme& scheme) const;
+
+ private:
+  MinerConfig config_;
+};
+
+/// Ground-truth pairs from frame provenance: a response record whose
+/// frame-level `caused_by` names the stimulus frame.
+MinedPairs true_pairs(const trace::TraceLog& log);
+
+/// Pair-level accuracy of mined attribution against ground truth.
+struct PairAccuracy {
+  std::size_t mined = 0;
+  std::size_t truth = 0;
+  std::size_t correct = 0;  ///< mined pairs confirmed by provenance
+  double precision() const {
+    return mined == 0 ? 1.0 : static_cast<double>(correct) / mined;
+  }
+  double recall() const {
+    return truth == 0 ? 1.0 : static_cast<double>(correct) / truth;
+  }
+};
+
+PairAccuracy score_pairs(const trace::TraceLog& log, const MinedPairs& mined);
+
+/// Cell-level comparison against ground truth under a key scheme:
+/// `unobserved` = true relationship cells the miner missed;
+/// `spurious` = mined cells no true pair supports.
+struct CellAccuracy {
+  std::size_t mined_cells = 0;
+  std::size_t true_cells = 0;
+  std::size_t unobserved = 0;
+  std::size_t spurious = 0;
+};
+
+CellAccuracy score_cells(const trace::TraceLog& log, const RelationSet& mined,
+                         const KeyScheme& scheme);
+
+}  // namespace nidkit::mining

@@ -1,0 +1,91 @@
+#include "mining/relation.hpp"
+
+#include <algorithm>
+
+namespace nidkit::mining {
+
+void RelationSet::add(RelationDirection dir, const RelationCell& cell,
+                      SimTime when, std::size_t stimulus_index,
+                      std::size_t response_index) {
+  auto& table = dir == RelationDirection::kSendToRecv ? send_to_recv_
+                                                      : recv_to_send_;
+  auto [it, inserted] = table.try_emplace(cell);
+  auto& stats = it->second;
+  if (inserted || when < stats.first_seen) {
+    stats.first_seen = when;
+    stats.example_stimulus = stimulus_index;
+    stats.example_response = response_index;
+  }
+  ++stats.count;
+}
+
+bool RelationSet::has(RelationDirection dir, const std::string& stimulus,
+                      const std::string& response) const {
+  return find(dir, RelationCell{stimulus, response}) != nullptr;
+}
+
+const RelationStats* RelationSet::find(RelationDirection dir,
+                                       const RelationCell& cell) const {
+  const auto& table = dir == RelationDirection::kSendToRecv ? send_to_recv_
+                                                            : recv_to_send_;
+  auto it = table.find(cell);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+void RelationSet::merge(const RelationSet& other) {
+  for (const auto dir :
+       {RelationDirection::kSendToRecv, RelationDirection::kRecvToSend}) {
+    auto& mine = dir == RelationDirection::kSendToRecv ? send_to_recv_
+                                                       : recv_to_send_;
+    for (const auto& [cell, stats] : other.cells(dir)) {
+      auto [it, inserted] = mine.try_emplace(cell, stats);
+      if (!inserted) {
+        it->second.count += stats.count;
+        if (stats.first_seen < it->second.first_seen) {
+          it->second.first_seen = stats.first_seen;
+          it->second.example_stimulus = stats.example_stimulus;
+          it->second.example_response = stats.example_response;
+        }
+      }
+    }
+  }
+}
+
+std::set<std::string> RelationSet::stimulus_labels() const {
+  std::set<std::string> out;
+  for (const auto& [cell, stats] : send_to_recv_) out.insert(cell.stimulus);
+  for (const auto& [cell, stats] : recv_to_send_) out.insert(cell.stimulus);
+  return out;
+}
+
+std::set<std::string> RelationSet::response_labels() const {
+  std::set<std::string> out;
+  for (const auto& [cell, stats] : send_to_recv_) out.insert(cell.response);
+  for (const auto& [cell, stats] : recv_to_send_) out.insert(cell.response);
+  return out;
+}
+
+ResponseProfile response_profile(const RelationSet& set,
+                                 RelationDirection direction) {
+  ResponseProfile out;
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& [cell, stats] : set.cells(direction)) {
+    out.by_stimulus[cell.stimulus].push_back(
+        ResponseProfile::Response{cell.response, stats.count, 0.0});
+    totals[cell.stimulus] += stats.count;
+  }
+  for (auto& [stimulus, responses] : out.by_stimulus) {
+    const auto total = totals[stimulus];
+    for (auto& r : responses)
+      r.fraction = total == 0 ? 0.0
+                              : static_cast<double>(r.count) / total;
+    std::sort(responses.begin(), responses.end(),
+              [](const auto& a, const auto& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.label < b.label;
+              });
+  }
+  return out;
+}
+
+}  // namespace nidkit::mining

@@ -1,0 +1,101 @@
+// Packet causal relationships and relationship sets.
+//
+// A packet causal relationship (the paper's §2) correlates a packet a
+// router sent (or received) with the set of packets it expects to receive
+// (or send) in response. We represent a mined relationship as a pair of
+// labels — (stimulus key, response key) — in one of two directions:
+//
+//   send→recv : "after sending a packet keyed S, the first packet received
+//                at least 2·TDelay later was keyed R"
+//   recv→send : the symmetric direction.
+//
+// A RelationSet is the union of all such pairs observed across the routers
+// of a network (and, at the experiment level, across topologies). Comparing
+// two implementations' RelationSets flags candidate non-interoperabilities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace nidkit::mining {
+
+enum class RelationDirection { kSendToRecv, kRecvToSend };
+
+/// Evidence for one relationship cell.
+struct RelationStats {
+  std::uint64_t count = 0;
+  SimTime first_seen{0};
+  /// Trace indices of the first observed (stimulus, response) instance —
+  /// the starting point for injection-based validation.
+  std::size_t example_stimulus = 0;
+  std::size_t example_response = 0;
+};
+
+/// Label pair identifying a relationship cell.
+struct RelationCell {
+  std::string stimulus;
+  std::string response;
+
+  friend auto operator<=>(const RelationCell&, const RelationCell&) = default;
+};
+
+class RelationSet {
+ public:
+  void add(RelationDirection dir, const RelationCell& cell, SimTime when,
+           std::size_t stimulus_index, std::size_t response_index);
+
+  bool has(RelationDirection dir, const std::string& stimulus,
+           const std::string& response) const;
+
+  const RelationStats* find(RelationDirection dir,
+                            const RelationCell& cell) const;
+
+  /// Union with another set (counts accumulate, earliest example kept).
+  void merge(const RelationSet& other);
+
+  const std::map<RelationCell, RelationStats>& cells(
+      RelationDirection dir) const {
+    return dir == RelationDirection::kSendToRecv ? send_to_recv_
+                                                 : recv_to_send_;
+  }
+
+  /// All stimulus / response labels appearing in either direction
+  /// (row/column universe for table rendering).
+  std::set<std::string> stimulus_labels() const;
+  std::set<std::string> response_labels() const;
+
+  std::size_t size() const {
+    return send_to_recv_.size() + recv_to_send_.size();
+  }
+
+ private:
+  std::map<RelationCell, RelationStats> send_to_recv_;
+  std::map<RelationCell, RelationStats> recv_to_send_;
+};
+
+/// The paper's §2 formalization, made explicit: for each stimulus class,
+/// the *set of responses* the implementation was observed to produce (or
+/// elicit), with observation counts — "after sending a packet A, there
+/// exists a set of possible packets that the implementation expects to
+/// receive as compliant responses to A".
+struct ResponseProfile {
+  struct Response {
+    std::string label;
+    std::uint64_t count = 0;
+    double fraction = 0.0;  ///< share of the stimulus's observations
+  };
+  /// stimulus label -> responses, most frequent first.
+  std::map<std::string, std::vector<Response>> by_stimulus;
+};
+
+/// Projects one direction of a RelationSet into per-stimulus response
+/// sets.
+ResponseProfile response_profile(const RelationSet& set,
+                                 RelationDirection direction);
+
+}  // namespace nidkit::mining

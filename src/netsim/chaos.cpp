@@ -1,0 +1,52 @@
+#include "netsim/chaos.hpp"
+
+namespace nidkit::netsim {
+
+void ChaosController::set_delay_all(SimDuration delay) {
+  for (SegmentId s = 0; s < net_.segment_count(); ++s)
+    net_.fault(s).delay = delay;
+}
+
+void ChaosController::set_delay(SegmentId segment, SimDuration delay,
+                                SimDuration jitter) {
+  auto& f = net_.fault(segment);
+  f.delay = delay;
+  f.jitter = jitter;
+}
+
+void ChaosController::set_loss(SegmentId segment, double probability) {
+  net_.fault(segment).loss = probability;
+}
+
+void ChaosController::set_duplicate(SegmentId segment, double probability) {
+  net_.fault(segment).duplicate = probability;
+}
+
+void ChaosController::set_reorder(SegmentId segment, double probability,
+                                  SimDuration extra_delay) {
+  auto& f = net_.fault(segment);
+  f.reorder = probability;
+  f.reorder_extra = extra_delay;
+}
+
+void ChaosController::cut(SegmentId segment) {
+  net_.fault(segment).down = true;
+}
+
+void ChaosController::restore(SegmentId segment) {
+  net_.fault(segment).down = false;
+}
+
+void ChaosController::schedule_window(SegmentId segment, SimTime start,
+                                      SimDuration duration, FaultModel fault) {
+  auto& sim = net_.sim();
+  sim.schedule_at(start, [this, segment, fault] {
+    net_.fault(segment) = fault;
+  });
+  sim.schedule_at(start + duration, [this, segment,
+                                     previous = net_.fault(segment)] {
+    net_.fault(segment) = previous;
+  });
+}
+
+}  // namespace nidkit::netsim

@@ -1,0 +1,48 @@
+// Chaos controller: the toolkit's Pumba.
+//
+// The paper introduces its TDelay on every interface with the Pumba chaos
+// testing tool (netem under the hood). ChaosController provides the same
+// operations against the simulator's fault models: fixed delay on all
+// segments, plus scheduled one-shot or windowed rules (delay, jitter, loss,
+// duplication, reordering, link cuts) for failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/network.hpp"
+
+namespace nidkit::netsim {
+
+class ChaosController {
+ public:
+  explicit ChaosController(Network& net) : net_(net) {}
+
+  /// Applies the paper's TDelay: a fixed one-way delay on every segment,
+  /// effective immediately.
+  void set_delay_all(SimDuration delay);
+
+  /// Sets delay + uniform jitter on one segment.
+  void set_delay(SegmentId segment, SimDuration delay,
+                 SimDuration jitter = SimDuration{0});
+
+  void set_loss(SegmentId segment, double probability);
+  void set_duplicate(SegmentId segment, double probability);
+  void set_reorder(SegmentId segment, double probability,
+                   SimDuration extra_delay);
+
+  /// Cuts a segment (all frames dropped) / restores it.
+  void cut(SegmentId segment);
+  void restore(SegmentId segment);
+
+  /// Schedules `fault` to replace the segment's model during
+  /// [start, start+duration), restoring the previous model afterwards.
+  /// Mirrors Pumba's `--duration` flag.
+  void schedule_window(SegmentId segment, SimTime start, SimDuration duration,
+                       FaultModel fault);
+
+ private:
+  Network& net_;
+};
+
+}  // namespace nidkit::netsim

@@ -1,0 +1,46 @@
+#include "netsim/simulator.hpp"
+
+#include <cassert>
+
+namespace nidkit::netsim {
+
+TimerHandle Simulator::schedule_at(SimTime when, Action action) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto state = std::make_shared<TimerState>();
+  queue_.push(Event{when, next_seq_++, std::move(action), state});
+  return TimerHandle{std::move(state)};
+}
+
+TimerHandle Simulator::schedule(SimDuration delay, Action action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out then popped.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled->cancelled) continue;
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace nidkit::netsim

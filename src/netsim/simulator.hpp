@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulator core.
+//
+// A single event queue ordered by (time, insertion sequence) drives the
+// whole network: link deliveries, protocol timers, chaos-rule activations
+// and harness probes are all events. The insertion-sequence tiebreak makes
+// simultaneous events execute in a fixed order, so a (scenario, seed) pair
+// always produces an identical trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace nidkit::netsim {
+
+using Action = std::function<void()>;
+
+namespace detail {
+struct TimerState {
+  bool cancelled = false;
+};
+}  // namespace detail
+
+/// Handle to a scheduled event. Cancelling is O(1): the event stays queued
+/// but is skipped when it reaches the head. A default-constructed handle is
+/// inert.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Prevents the event from running. Safe to call repeatedly or after the
+  /// event has already fired.
+  void cancel() {
+    if (state_) state_->cancelled = true;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  using TimerState = detail::TimerState;
+  explicit TimerHandle(std::shared_ptr<TimerState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<TimerState> state_;
+};
+
+/// The event loop. Not thread-safe; the whole simulation is single-threaded.
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  TimerHandle schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` `delay` after now().
+  TimerHandle schedule(SimDuration delay, Action action);
+
+  /// Executes the next non-cancelled event. Returns false if none remain.
+  bool step();
+
+  /// Runs events with time <= deadline, then advances the clock to
+  /// `deadline` even if the queue drained early.
+  void run_until(SimTime deadline);
+
+  /// Runs until the queue is empty. Only safe for workloads that terminate
+  /// (protocol engines re-arm periodic timers forever; use run_until).
+  void run();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  using TimerState = detail::TimerState;
+
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<TimerState> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{kSimStart};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace nidkit::netsim

@@ -1,0 +1,59 @@
+#include "ospf/lsdb.hpp"
+
+#include <algorithm>
+
+namespace nidkit::ospf {
+
+std::optional<LsaHeader> Lsdb::install(Lsa lsa, SimTime now) {
+  const LsaKey key = key_of(lsa.header);
+  std::optional<LsaHeader> previous;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) previous = it->second.lsa.header;
+  entries_[key] = Entry{std::move(lsa), now, now};
+  return previous;
+}
+
+const Lsdb::Entry* Lsdb::find(const LsaKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Lsdb::Entry* Lsdb::find(const LsaKey& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Lsdb::remove(const LsaKey& key) { entries_.erase(key); }
+
+std::uint16_t Lsdb::age_at(const Entry& entry, SimTime now) const {
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::seconds>(now - entry.installed_at)
+          .count();
+  const auto age = std::int64_t{entry.lsa.header.age} + elapsed;
+  return static_cast<std::uint16_t>(
+      std::min<std::int64_t>(age, kMaxAgeSeconds));
+}
+
+Lsa Lsdb::snapshot(const Entry& entry, SimTime now) const {
+  Lsa copy = entry.lsa;
+  copy.header.age = age_at(entry, now);
+  return copy;
+}
+
+std::vector<LsaHeader> Lsdb::summarize(SimTime now) const {
+  std::vector<LsaHeader> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    LsaHeader h = entry.lsa.header;
+    h.age = age_at(entry, now);
+    out.push_back(h);
+  }
+  return out;
+}
+
+void Lsdb::for_each(
+    const std::function<void(const LsaKey&, const Entry&)>& fn) const {
+  for (const auto& [key, entry] : entries_) fn(key, entry);
+}
+
+}  // namespace nidkit::ospf

@@ -1,0 +1,66 @@
+// Link-state database.
+//
+// Stores one current instance per (type, link-state id, advertising router)
+// key, together with the simulation time it was installed so LS age can be
+// computed on demand instead of being ticked every second.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "packet/lsa.hpp"
+#include "util/time.hpp"
+
+namespace nidkit::ospf {
+
+/// Database key: identifies an LSA (not an instance).
+struct LsaKey {
+  LsaType type = LsaType::kRouter;
+  Ipv4Addr link_state_id;
+  RouterId advertising_router;
+
+  friend auto operator<=>(const LsaKey&, const LsaKey&) = default;
+};
+
+inline LsaKey key_of(const LsaHeader& h) {
+  return LsaKey{h.type, h.link_state_id, h.advertising_router};
+}
+
+class Lsdb {
+ public:
+  struct Entry {
+    Lsa lsa;               ///< header.age is the age *at install time*
+    SimTime installed_at{0};
+    SimTime last_accepted_at{0};  ///< for MinLSArrival enforcement
+  };
+
+  /// Installs (or replaces) an instance. Returns the previous instance's
+  /// header if one existed.
+  std::optional<LsaHeader> install(Lsa lsa, SimTime now);
+
+  const Entry* find(const LsaKey& key) const;
+  Entry* find(const LsaKey& key);
+
+  void remove(const LsaKey& key);
+
+  /// The LSA's current age at `now`, capped at MaxAge.
+  std::uint16_t age_at(const Entry& entry, SimTime now) const;
+
+  /// A copy of the stored LSA with header.age updated to `now`.
+  Lsa snapshot(const Entry& entry, SimTime now) const;
+
+  /// All current headers with ages updated to `now` (database summary for
+  /// the DBD exchange).
+  std::vector<LsaHeader> summarize(SimTime now) const;
+
+  std::size_t size() const { return entries_.size(); }
+  void for_each(const std::function<void(const LsaKey&, const Entry&)>& fn) const;
+
+ private:
+  std::map<LsaKey, Entry> entries_;
+};
+
+}  // namespace nidkit::ospf

@@ -1,0 +1,68 @@
+#include "ospf/config.hpp"
+
+namespace nidkit::ospf {
+
+// The knob values below model observable behaviours of the two daemons the
+// paper tests (FRRouting's ospfd and BIRD), as documented in their sources
+// and confirmed by the packet-level discrepancies the paper reports. They
+// are *behaviour models*, not copies of the implementations.
+
+BehaviorProfile frr_profile() {
+  BehaviorProfile p;
+  p.name = "frr";
+  // FRR schedules an immediate hello on neighbor events to speed up
+  // adjacency bring-up.
+  p.immediate_hello_on_discovery = true;
+  p.immediate_hello_on_two_way = true;
+  p.hello_jitter = 100ms;
+  // FRR batches acknowledgments (delayed acks on an interface timer) —
+  // including acks for duplicates, which join the same queue.
+  p.delayed_ack_delay = 1s;
+  p.ack_from_database = false;  // acks echo the received instance header
+  p.direct_ack_duplicates = false;
+  // FRR requests missing LSAs as each DBD arrives.
+  p.lsr_per_dbd = true;
+  p.respond_stale_with_newer = true;
+  p.flood_pacing = 30ms;
+  return p;
+}
+
+BehaviorProfile bird_profile() {
+  BehaviorProfile p;
+  p.name = "bird";
+  // BIRD's hellos are strictly timer-driven.
+  p.immediate_hello_on_discovery = false;
+  p.immediate_hello_on_two_way = false;
+  p.hello_jitter = 0ms;
+  // BIRD keeps a short per-interface ack queue...
+  p.delayed_ack_delay = 700ms;
+  // ...and builds each ack from its own database copy, so an ack flushed
+  // after a newer instance arrived carries the newer sequence number —
+  // observable as "LSAck with greater LS-SN" by the LSU's sender.
+  p.ack_from_database = true;
+  p.direct_ack_duplicates = true;
+  // BIRD collects the request list during the exchange and asks at the end.
+  p.lsr_per_dbd = false;
+  // Stale updates are acknowledged from the database rather than answered
+  // with the newer LSA.
+  p.respond_stale_with_newer = false;
+  p.ack_stale_from_database = true;
+  p.flood_pacing = 10ms;
+  return p;
+}
+
+BehaviorProfile strict_profile() {
+  BehaviorProfile p;
+  p.name = "strict";
+  p.immediate_hello_on_discovery = false;
+  p.immediate_hello_on_two_way = false;
+  p.hello_jitter = 0ms;
+  p.delayed_ack_delay = 1s;
+  p.ack_from_database = false;
+  p.direct_ack_duplicates = true;
+  p.lsr_per_dbd = true;
+  p.respond_stale_with_newer = true;
+  return p;
+}
+
+}  // namespace nidkit::ospf

@@ -1,0 +1,275 @@
+#include "packet/bgp_packet.hpp"
+
+#include <sstream>
+
+namespace nidkit::bgp {
+
+std::string to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kOpen: return "OPEN";
+    case MessageType::kUpdate: return "UPDATE";
+    case MessageType::kNotification: return "NOTIFICATION";
+    case MessageType::kKeepalive: return "KEEPALIVE";
+  }
+  return "?";
+}
+
+std::string Prefix::to_string() const {
+  return network.to_string() + "/" + std::to_string(length);
+}
+
+MessageType BgpMessage::type() const {
+  return std::visit(
+      [](const auto& b) {
+        using B = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<B, OpenMessage>)
+          return MessageType::kOpen;
+        else if constexpr (std::is_same_v<B, UpdateMessage>)
+          return MessageType::kUpdate;
+        else if constexpr (std::is_same_v<B, NotificationMessage>)
+          return MessageType::kNotification;
+        else
+          return MessageType::kKeepalive;
+      },
+      body);
+}
+
+namespace {
+
+std::size_t prefix_octets(std::uint8_t bits) { return (bits + 7) / 8; }
+
+void encode_prefix(const Prefix& p, ByteWriter& w) {
+  w.u8(p.length);
+  const std::uint32_t v = p.network.value();
+  for (std::size_t i = 0; i < prefix_octets(p.length); ++i)
+    w.u8(static_cast<std::uint8_t>(v >> (24 - 8 * i)));
+}
+
+Result<Prefix> decode_prefix(ByteReader& r) {
+  Prefix p;
+  p.length = r.u8();
+  if (p.length > 32) return fail("prefix length > 32");
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < prefix_octets(p.length); ++i)
+    v |= std::uint32_t{r.u8()} << (24 - 8 * i);
+  if (!r.ok()) return fail("truncated prefix");
+  p.network = Ipv4Addr{v};
+  return p;
+}
+
+void encode_body(const MessageBody& body, ByteWriter& w) {
+  std::visit(
+      [&w](const auto& b) {
+        using B = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<B, OpenMessage>) {
+          w.u8(b.version);
+          w.u16(b.my_as);
+          w.u16(b.hold_time);
+          w.u32(b.bgp_identifier.value());
+          w.u8(0);  // no optional parameters
+        } else if constexpr (std::is_same_v<B, UpdateMessage>) {
+          ByteWriter withdrawn;
+          for (const auto& p : b.withdrawn) encode_prefix(p, withdrawn);
+          w.u16(static_cast<std::uint16_t>(withdrawn.size()));
+          w.bytes(withdrawn.view());
+
+          ByteWriter attrs;
+          if (!b.nlri.empty()) {
+            // ORIGIN: well-known mandatory, flags 0x40.
+            attrs.u8(0x40);
+            attrs.u8(1);
+            attrs.u8(1);
+            attrs.u8(b.origin);
+            // AS_PATH: AS_SEQUENCE segments of at most 255 ASes each (the
+            // wire segment count field is one byte — the boundary the 2009
+            // incident tripped over).
+            ByteWriter path;
+            std::size_t i = 0;
+            while (i < b.as_path.size()) {
+              const std::size_t n = std::min<std::size_t>(
+                  255, b.as_path.size() - i);
+              path.u8(2);  // AS_SEQUENCE
+              path.u8(static_cast<std::uint8_t>(n));
+              for (std::size_t k = 0; k < n; ++k) path.u16(b.as_path[i + k]);
+              i += n;
+            }
+            if (path.size() > 255) {
+              attrs.u8(0x50);  // extended length
+              attrs.u8(2);
+              attrs.u16(static_cast<std::uint16_t>(path.size()));
+            } else {
+              attrs.u8(0x40);
+              attrs.u8(2);
+              attrs.u8(static_cast<std::uint8_t>(path.size()));
+            }
+            attrs.bytes(path.view());
+            // NEXT_HOP.
+            attrs.u8(0x40);
+            attrs.u8(3);
+            attrs.u8(4);
+            attrs.u32(b.next_hop.value());
+          }
+          w.u16(static_cast<std::uint16_t>(attrs.size()));
+          w.bytes(attrs.view());
+          for (const auto& p : b.nlri) encode_prefix(p, w);
+        } else if constexpr (std::is_same_v<B, NotificationMessage>) {
+          w.u8(b.error_code);
+          w.u8(b.error_subcode);
+          w.bytes(b.data);
+        } else {
+          static_assert(std::is_same_v<B, KeepaliveMessage>);
+        }
+      },
+      body);
+}
+
+Result<MessageBody> decode_body(MessageType type,
+                                std::span<const std::uint8_t> raw) {
+  ByteReader r(raw);
+  switch (type) {
+    case MessageType::kOpen: {
+      OpenMessage m;
+      m.version = r.u8();
+      m.my_as = r.u16();
+      m.hold_time = r.u16();
+      m.bgp_identifier = Ipv4Addr{r.u32()};
+      const std::uint8_t opt_len = r.u8();
+      r.skip(opt_len);
+      if (!r.ok() || r.remaining() != 0) return fail("malformed OPEN");
+      if (m.version != kBgpVersion) return fail("unsupported BGP version");
+      return MessageBody{m};
+    }
+    case MessageType::kUpdate: {
+      UpdateMessage m;
+      const std::uint16_t withdrawn_len = r.u16();
+      if (!r.ok()) return fail("truncated UPDATE");
+      {
+        auto bytes = r.bytes(withdrawn_len);
+        if (!r.ok()) return fail("truncated withdrawn routes");
+        ByteReader wr(bytes);
+        while (wr.remaining() > 0) {
+          auto p = decode_prefix(wr);
+          if (!p.ok()) return fail(p.error());
+          m.withdrawn.push_back(p.value());
+        }
+      }
+      const std::uint16_t attrs_len = r.u16();
+      if (!r.ok()) return fail("truncated UPDATE attributes length");
+      bool have_as_path = false;
+      bool have_next_hop = false;
+      {
+        auto bytes = r.bytes(attrs_len);
+        if (!r.ok()) return fail("truncated path attributes");
+        ByteReader ar(bytes);
+        while (ar.remaining() > 0) {
+          const std::uint8_t flags = ar.u8();
+          const std::uint8_t type_code = ar.u8();
+          const std::uint16_t len =
+              (flags & 0x10) ? ar.u16() : ar.u8();  // extended length bit
+          auto value = ar.bytes(len);
+          if (!ar.ok()) return fail("truncated path attribute");
+          ByteReader vr(value);
+          switch (type_code) {
+            case 1:  // ORIGIN
+              m.origin = vr.u8();
+              break;
+            case 2: {  // AS_PATH
+              have_as_path = true;
+              while (vr.remaining() > 0) {
+                const std::uint8_t seg_type = vr.u8();
+                const std::uint8_t count = vr.u8();
+                if (seg_type != 1 && seg_type != 2)
+                  return fail("bad AS_PATH segment type");
+                for (std::uint8_t i = 0; i < count; ++i)
+                  m.as_path.push_back(vr.u16());
+                if (!vr.ok()) return fail("truncated AS_PATH");
+              }
+              break;
+            }
+            case 3:  // NEXT_HOP
+              have_next_hop = true;
+              m.next_hop = Ipv4Addr{vr.u32()};
+              break;
+            default:
+              break;  // optional attributes ignored
+          }
+          if (!vr.ok()) return fail("malformed path attribute");
+        }
+      }
+      while (r.ok() && r.remaining() > 0) {
+        auto p = decode_prefix(r);
+        if (!p.ok()) return fail(p.error());
+        m.nlri.push_back(p.value());
+      }
+      if (!r.ok()) return fail("truncated NLRI");
+      if (!m.nlri.empty() && (!have_as_path || !have_next_hop))
+        return fail("UPDATE with NLRI lacks mandatory attributes");
+      return MessageBody{std::move(m)};
+    }
+    case MessageType::kNotification: {
+      NotificationMessage m;
+      m.error_code = r.u8();
+      m.error_subcode = r.u8();
+      if (!r.ok()) return fail("truncated NOTIFICATION");
+      auto rest = r.bytes(r.remaining());
+      m.data.assign(rest.begin(), rest.end());
+      return MessageBody{std::move(m)};
+    }
+    case MessageType::kKeepalive: {
+      if (r.remaining() != 0) return fail("KEEPALIVE with body");
+      return MessageBody{KeepaliveMessage{}};
+    }
+  }
+  return fail("unreachable message type");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const BgpMessage& msg) {
+  ByteWriter w(64);
+  for (int i = 0; i < 16; ++i) w.u8(0xff);  // marker
+  w.u16(0);                                 // length, patched below
+  w.u8(static_cast<std::uint8_t>(msg.type()));
+  encode_body(msg.body, w);
+  w.patch_u16(16, static_cast<std::uint16_t>(w.size()));
+  return w.take();
+}
+
+Result<BgpMessage> decode(std::span<const std::uint8_t> wire) {
+  if (wire.size() < kHeaderSize) return fail("shorter than BGP header");
+  if (wire.size() > kMaxMessageSize) return fail("message exceeds 4096");
+  for (std::size_t i = 0; i < 16; ++i)
+    if (wire[i] != 0xff) return fail("bad marker");
+  ByteReader r(wire.subspan(16));
+  const std::uint16_t length = r.u16();
+  const std::uint8_t type = r.u8();
+  if (length != wire.size()) return fail("length field mismatch");
+  if (type < 1 || type > 4) return fail("bad message type");
+  auto body = decode_body(static_cast<MessageType>(type),
+                          wire.subspan(kHeaderSize));
+  if (!body.ok()) return fail(body.error());
+  BgpMessage msg;
+  msg.body = std::move(body).take();
+  return msg;
+}
+
+std::string BgpMessage::summary() const {
+  std::ostringstream os;
+  os << to_string(type());
+  std::visit(
+      [&os](const auto& b) {
+        using B = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<B, OpenMessage>) {
+          os << " as=" << b.my_as << " id=" << b.bgp_identifier.to_string();
+        } else if constexpr (std::is_same_v<B, UpdateMessage>) {
+          os << " nlri=" << b.nlri.size() << " withdrawn=" << b.withdrawn.size()
+             << " path_len=" << b.as_path.size();
+        } else if constexpr (std::is_same_v<B, NotificationMessage>) {
+          os << " code=" << int(b.error_code) << "/" << int(b.error_subcode);
+        }
+      },
+      body);
+  return os.str();
+}
+
+}  // namespace nidkit::bgp

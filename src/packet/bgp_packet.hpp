@@ -1,0 +1,106 @@
+// BGP-4 wire format (RFC 4271 subset, 2-byte AS numbers).
+//
+// BGP is the third protocol in the toolkit, motivated directly by the
+// paper's §1: the 2009 global slowdown was a non-interoperability in
+// AS_PATH handling (a long path announced by one implementation made
+// another reset its sessions repeatedly). The bgp module reproduces that
+// class of bug and shows the causal miner flagging it.
+//
+// Modeled subset: OPEN / UPDATE / KEEPALIVE / NOTIFICATION, path
+// attributes ORIGIN, AS_PATH (AS_SEQUENCE segments), NEXT_HOP, classic
+// 16-bit AS numbers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/ip.hpp"
+#include "util/result.hpp"
+
+namespace nidkit::bgp {
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+std::string to_string(MessageType t);
+
+inline constexpr std::uint8_t kBgpVersion = 4;
+inline constexpr std::size_t kHeaderSize = 19;  // marker(16) len(2) type(1)
+inline constexpr std::size_t kMaxMessageSize = 4096;
+
+/// An IPv4 prefix in NLRI form.
+struct Prefix {
+  Ipv4Addr network;
+  std::uint8_t length = 24;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+  std::string to_string() const;
+};
+
+struct OpenMessage {
+  std::uint8_t version = kBgpVersion;
+  std::uint16_t my_as = 0;
+  std::uint16_t hold_time = 90;
+  Ipv4Addr bgp_identifier;
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) = default;
+};
+
+/// AS_PATH: a flat AS_SEQUENCE (AS_SET aggregation is not modeled). The
+/// wire form splits sequences longer than 255 into multiple segments —
+/// exactly the boundary the 2009 incident tripped over.
+using AsPath = std::vector<std::uint16_t>;
+
+struct UpdateMessage {
+  std::vector<Prefix> withdrawn;
+  /// Path attributes (present when NLRI is non-empty).
+  AsPath as_path;
+  Ipv4Addr next_hop;
+  std::uint8_t origin = 0;  // IGP
+  std::vector<Prefix> nlri;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+struct NotificationMessage {
+  std::uint8_t error_code = 0;
+  std::uint8_t error_subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const NotificationMessage&,
+                         const NotificationMessage&) = default;
+};
+
+/// RFC 4271 §4.5 error codes we use.
+inline constexpr std::uint8_t kErrorUpdateMessage = 3;
+inline constexpr std::uint8_t kSubcodeMalformedAsPath = 11;
+inline constexpr std::uint8_t kErrorHoldTimerExpired = 4;
+inline constexpr std::uint8_t kErrorCease = 6;
+
+struct KeepaliveMessage {
+  friend bool operator==(const KeepaliveMessage&,
+                         const KeepaliveMessage&) = default;
+};
+
+using MessageBody = std::variant<OpenMessage, UpdateMessage,
+                                 NotificationMessage, KeepaliveMessage>;
+
+struct BgpMessage {
+  MessageBody body = KeepaliveMessage{};
+
+  MessageType type() const;
+  std::string summary() const;
+};
+
+std::vector<std::uint8_t> encode(const BgpMessage& msg);
+Result<BgpMessage> decode(std::span<const std::uint8_t> wire);
+
+}  // namespace nidkit::bgp

@@ -1,0 +1,65 @@
+// OSPFv2 protocol constants (RFC 2328).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace nidkit::ospf {
+
+/// OSPF packet types, RFC 2328 §4.3 (wire numbering).
+///
+/// Note: the paper's Table 1 presents types in the order Hello, DBD,
+/// LS *Update*, LS *Request*, LS Ack — i.e. it swaps the RFC's 3/4. The
+/// wire format here uses RFC numbering; the table renderer in bench/
+/// applies the paper's presentation order.
+enum class PacketType : std::uint8_t {
+  kHello = 1,
+  kDbd = 2,       // Database Description
+  kLsRequest = 3,
+  kLsUpdate = 4,
+  kLsAck = 5,
+};
+
+inline constexpr int kNumPacketTypes = 5;
+
+std::string to_string(PacketType t);
+
+/// LS advertisement types, RFC 2328 §4.3.
+enum class LsaType : std::uint8_t {
+  kRouter = 1,
+  kNetwork = 2,
+  kSummaryNet = 3,
+  kSummaryAsbr = 4,
+  kExternal = 5,
+};
+
+std::string to_string(LsaType t);
+
+/// Options field bits (§A.2). We model E (external routing capability).
+inline constexpr std::uint8_t kOptionE = 0x02;
+
+/// DBD flags (§A.3.3).
+inline constexpr std::uint8_t kDbdFlagMs = 0x01;    ///< Master/Slave
+inline constexpr std::uint8_t kDbdFlagMore = 0x02;  ///< More
+inline constexpr std::uint8_t kDbdFlagInit = 0x04;  ///< Init
+
+/// Architectural constants (§B), in simulation time units.
+inline constexpr std::uint16_t kMaxAgeSeconds = 3600;          // MaxAge
+inline constexpr std::uint16_t kMaxAgeDiffSeconds = 900;       // MaxAgeDiff
+inline constexpr std::uint16_t kMinLsArrivalMs = 1000;         // MinLSArrival
+inline constexpr std::int32_t kInitialSequenceNumber = static_cast<std::int32_t>(0x80000001);
+inline constexpr std::int32_t kMaxSequenceNumber = 0x7fffffff;
+inline constexpr std::uint32_t kLsInfinity = 0xffffff;
+
+/// OSPF protocol number in the IP header.
+inline constexpr std::uint8_t kIpProtoOspf = 89;
+
+inline constexpr std::uint8_t kOspfVersion = 2;
+
+/// Sizes of fixed wire structures (bytes).
+inline constexpr std::size_t kOspfHeaderSize = 24;
+inline constexpr std::size_t kLsaHeaderSize = 20;
+
+}  // namespace nidkit::ospf

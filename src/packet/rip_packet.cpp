@@ -1,0 +1,85 @@
+#include "packet/rip_packet.hpp"
+
+#include <sstream>
+
+namespace nidkit::rip {
+
+std::string to_string(Command c) {
+  switch (c) {
+    case Command::kRequest: return "Request";
+    case Command::kResponse: return "Response";
+  }
+  return "?";
+}
+
+bool RipPacket::is_full_table_request() const {
+  return command == Command::kRequest && entries.size() == 1 &&
+         entries[0].afi == 0 && entries[0].metric == kInfinityMetric;
+}
+
+RipPacket make_full_table_request() {
+  RipPacket pkt;
+  pkt.command = Command::kRequest;
+  RipEntry e;
+  e.afi = 0;
+  e.metric = kInfinityMetric;
+  pkt.entries.push_back(e);
+  return pkt;
+}
+
+std::vector<std::uint8_t> encode(const RipPacket& pkt) {
+  ByteWriter w(4 + pkt.entries.size() * 20);
+  w.u8(static_cast<std::uint8_t>(pkt.command));
+  w.u8(pkt.version);
+  w.u16(0);
+  const bool v1 = pkt.version == 1;
+  for (const auto& e : pkt.entries) {
+    w.u16(e.afi);
+    w.u16(v1 ? 0 : e.route_tag);  // must-be-zero in v1
+    w.u32(e.prefix.value());
+    w.u32(v1 ? 0 : e.mask.value());      // v1 carries no mask...
+    w.u32(v1 ? 0 : e.next_hop.value());  // ...and no next hop
+    w.u32(e.metric);
+  }
+  return w.take();
+}
+
+Result<RipPacket> decode(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4) return fail("RIP packet shorter than header");
+  if ((wire.size() - 4) % 20 != 0) return fail("ragged RIP entry list");
+  ByteReader r(wire);
+  RipPacket pkt;
+  const std::uint8_t cmd = r.u8();
+  pkt.version = r.u8();
+  r.skip(2);
+  if (cmd != 1 && cmd != 2) return fail("bad RIP command");
+  pkt.command = static_cast<Command>(cmd);
+  if (pkt.version != 1 && pkt.version != kRipVersion)
+    return fail("unsupported RIP version");
+  while (r.ok() && r.remaining() >= 20) {
+    RipEntry e;
+    e.afi = r.u16();
+    e.route_tag = r.u16();
+    e.prefix = Ipv4Addr{r.u32()};
+    e.mask = Ipv4Addr{r.u32()};
+    e.next_hop = Ipv4Addr{r.u32()};
+    e.metric = r.u32();
+    if (e.metric < 1 || e.metric > kInfinityMetric) {
+      if (!(e.afi == 0))  // AFI-0 request entries legitimately carry 16
+        return fail("RIP metric out of range");
+    }
+    pkt.entries.push_back(e);
+  }
+  if (!r.ok()) return fail("truncated RIP packet");
+  // RFC 2453 §3.6 caps a message at 25 entries.
+  if (pkt.entries.size() > 25) return fail("more than 25 RIP entries");
+  return pkt;
+}
+
+std::string RipPacket::summary() const {
+  std::ostringstream os;
+  os << "RIP " << to_string(command) << " entries=" << entries.size();
+  return os.str();
+}
+
+}  // namespace nidkit::rip

@@ -1,0 +1,66 @@
+// RIPv2 wire format (RFC 2453 §4).
+//
+// RIP is the second protocol the toolkit targets, demonstrating that the
+// causal-mining technique is protocol-agnostic: the miner only needs a
+// packet-key function, which for RIP is (command, refinements).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/ip.hpp"
+#include "util/result.hpp"
+
+namespace nidkit::rip {
+
+enum class Command : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+std::string to_string(Command c);
+
+inline constexpr std::uint8_t kRipVersion = 2;
+inline constexpr std::uint32_t kInfinityMetric = 16;
+inline constexpr std::uint16_t kRipPort = 520;
+inline constexpr std::uint16_t kAfInet = 2;
+
+/// One route entry (§4.3). An AFI of 0 with metric 16 in a request means
+/// "send me your whole table" (§3.9.1).
+struct RipEntry {
+  std::uint16_t afi = kAfInet;
+  std::uint16_t route_tag = 0;
+  Ipv4Addr prefix;
+  Ipv4Addr mask;
+  Ipv4Addr next_hop;
+  std::uint32_t metric = 1;
+
+  friend bool operator==(const RipEntry&, const RipEntry&) = default;
+};
+
+struct RipPacket {
+  Command command = Command::kResponse;
+  /// 1 or 2. RIPv1 entries carry no subnet mask or next hop on the wire
+  /// (§3.4); decoding a v1 packet leaves those fields zero — the
+  /// information loss behind the classic v1/v2 interop failures.
+  std::uint8_t version = kRipVersion;
+  std::vector<RipEntry> entries;
+
+  /// True for the §3.9.1 whole-table request form.
+  bool is_full_table_request() const;
+
+  std::string summary() const;
+
+  friend bool operator==(const RipPacket&, const RipPacket&) = default;
+};
+
+/// Builds the whole-table request (one AFI-0, metric-16 entry).
+RipPacket make_full_table_request();
+
+std::vector<std::uint8_t> encode(const RipPacket& pkt);
+Result<RipPacket> decode(std::span<const std::uint8_t> wire);
+
+}  // namespace nidkit::rip

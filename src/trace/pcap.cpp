@@ -1,0 +1,77 @@
+#include "trace/pcap.hpp"
+
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+
+namespace nidkit::trace {
+
+namespace {
+
+/// Little-endian writer for the pcap framing (the classic format is
+/// host-endian; we fix little-endian and write the matching magic).
+void le16(std::ostream& os, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  os.write(bytes, 2);
+}
+void le32(std::ostream& os, std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                         static_cast<char>(v >> 16),
+                         static_cast<char>(v >> 24)};
+  os.write(bytes, 4);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> synthesize_ip_packet(const PacketRecord& record) {
+  ByteWriter w(20 + record.bytes.size());
+  const auto total_len = static_cast<std::uint16_t>(20 + record.bytes.size());
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0xc0);  // DSCP CS6 (network control), as routing daemons set
+  w.u16(total_len);
+  w.u16(0);      // identification
+  w.u16(0);      // flags/fragment offset
+  w.u8(1);       // TTL 1: link-local routing protocol traffic
+  w.u8(record.protocol);
+  w.u16(0);      // checksum, patched below
+  w.u32(record.src.value());
+  w.u32(record.dst.value());
+  const std::uint16_t csum = internet_checksum(w.view());
+  w.patch_u16(10, csum);
+  w.bytes(record.bytes);
+  return w.take();
+}
+
+std::size_t export_pcap(const TraceLog& log, std::ostream& os,
+                        const PcapOptions& options) {
+  // Global header: magic (microsecond timestamps), version 2.4,
+  // LINKTYPE_RAW.
+  le32(os, 0xa1b2c3d4);
+  le16(os, 2);
+  le16(os, 4);
+  le32(os, 0);        // thiszone
+  le32(os, 0);        // sigfigs
+  le32(os, 65535);    // snaplen
+  le32(os, 101);      // LINKTYPE_RAW
+
+  std::size_t written = 0;
+  for (const auto& rec : log.records()) {
+    if (rec.bytes.empty()) continue;
+    if (options.node >= 0 &&
+        rec.node != static_cast<netsim::NodeId>(options.node))
+      continue;
+    if (options.direction && rec.direction != *options.direction) continue;
+
+    const auto packet = synthesize_ip_packet(rec);
+    const auto us = rec.time.count();
+    le32(os, static_cast<std::uint32_t>(us / 1'000'000));
+    le32(os, static_cast<std::uint32_t>(us % 1'000'000));
+    le32(os, static_cast<std::uint32_t>(packet.size()));
+    le32(os, static_cast<std::uint32_t>(packet.size()));
+    os.write(reinterpret_cast<const char*>(packet.data()),
+             static_cast<std::streamsize>(packet.size()));
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace nidkit::trace

@@ -1,0 +1,41 @@
+// pcap export: write a captured trace as a standard libpcap file that
+// Wireshark/tcpdump can open.
+//
+// The simulator carries routing-protocol payloads without IP headers (the
+// miner never needs them), so the exporter synthesizes a valid IPv4 header
+// per record — correct version/IHL, total length, TTL, protocol, source/
+// destination and header checksum — in front of the raw protocol bytes.
+// Link type is LINKTYPE_RAW (101): packets begin directly with the IPv4
+// header.
+//
+// Each record appears once per observation (send and receive), matching
+// what per-router tcpdump instances produce; filter by direction before
+// exporting to get a single-vantage capture.
+#pragma once
+
+#include <optional>
+#include <ostream>
+
+#include "trace/trace.hpp"
+
+namespace nidkit::trace {
+
+/// Export options.
+struct PcapOptions {
+  /// Keep only records observed at this node (-1 = all nodes).
+  int node = -1;
+  /// Keep only records with this direction (nullopt = both).
+  std::optional<netsim::Direction> direction;
+};
+
+/// Writes `log` to `os` in pcap format. Returns the number of packets
+/// written. Records without raw bytes are skipped (there is nothing to
+/// put on the wire).
+std::size_t export_pcap(const TraceLog& log, std::ostream& os,
+                        const PcapOptions& options = {});
+
+/// Builds the synthesized IPv4 header + payload for one record (exposed
+/// for tests).
+std::vector<std::uint8_t> synthesize_ip_packet(const PacketRecord& record);
+
+}  // namespace nidkit::trace

@@ -1,0 +1,196 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "packet/bgp_packet.hpp"
+#include "packet/ospf_packet.hpp"
+#include "packet/rip_packet.hpp"
+
+namespace nidkit::trace {
+
+std::int32_t OspfDigest::max_seq() const {
+  std::int32_t best = std::numeric_limits<std::int32_t>::min();
+  for (const auto& l : lsas) best = std::max(best, l.seq);
+  return best;
+}
+
+Digest digest_frame(const netsim::Frame& frame) {
+  if (frame.protocol == ospf::kIpProtoOspf) {
+    auto decoded = ospf::decode(frame.payload);
+    if (!decoded.ok()) return std::monostate{};
+    const auto& pkt = decoded.value();
+    OspfDigest d;
+    d.pkt_type = static_cast<std::uint8_t>(pkt.header.type);
+    auto add_header = [&d](const ospf::LsaHeader& h) {
+      d.lsas.push_back(OspfDigest::LsaDigest{
+          static_cast<std::uint8_t>(h.type), h.seq, h.age, h.link_state_id,
+          h.advertising_router});
+    };
+    if (const auto* lsu = std::get_if<ospf::LsUpdateBody>(&pkt.body)) {
+      for (const auto& lsa : lsu->lsas) add_header(lsa.header);
+    } else if (const auto* ack = std::get_if<ospf::LsAckBody>(&pkt.body)) {
+      for (const auto& h : ack->lsa_headers) add_header(h);
+    } else if (const auto* dbd = std::get_if<ospf::DbdBody>(&pkt.body)) {
+      d.dbd_flags = dbd->flags;
+      for (const auto& h : dbd->lsa_headers) add_header(h);
+    }
+    return d;
+  }
+  if (frame.protocol == 6) {  // TCP: the only TCP traffic we model is BGP
+    auto decoded = bgp::decode(frame.payload);
+    if (!decoded.ok()) return std::monostate{};
+    const auto& msg = decoded.value();
+    BgpDigest d;
+    d.msg_type = static_cast<std::uint8_t>(msg.type());
+    if (const auto* update = std::get_if<bgp::UpdateMessage>(&msg.body)) {
+      d.as_path_len = static_cast<std::uint32_t>(update->as_path.size());
+      d.nlri_count = static_cast<std::uint16_t>(update->nlri.size());
+      d.withdrawn_count =
+          static_cast<std::uint16_t>(update->withdrawn.size());
+    } else if (const auto* notif =
+                   std::get_if<bgp::NotificationMessage>(&msg.body)) {
+      d.error_code = notif->error_code;
+    }
+    return d;
+  }
+  if (frame.protocol == 17) {  // UDP: the only UDP traffic we model is RIP
+    auto decoded = rip::decode(frame.payload);
+    if (!decoded.ok()) return std::monostate{};
+    const auto& pkt = decoded.value();
+    RipDigest d;
+    d.command = static_cast<std::uint8_t>(pkt.command);
+    d.entry_count = static_cast<std::uint16_t>(pkt.entries.size());
+    d.full_table_request = pkt.is_full_table_request();
+    for (const auto& e : pkt.entries) d.max_metric = std::max(d.max_metric, e.metric);
+    return d;
+  }
+  return std::monostate{};
+}
+
+void TraceLog::attach(netsim::Network& net) {
+  net.set_tap([this](const netsim::TapEvent& ev) { on_tap(ev); });
+}
+
+void TraceLog::on_tap(const netsim::TapEvent& ev) {
+  PacketRecord rec;
+  rec.time = ev.time;
+  rec.node = ev.node;
+  rec.iface = ev.iface;
+  rec.direction = ev.direction;
+  rec.src = ev.frame->src;
+  rec.dst = ev.frame->dst;
+  rec.protocol = ev.frame->protocol;
+  rec.frame_id = ev.frame->id;
+  rec.caused_by = ev.frame->caused_by;
+  if (prober_) rec.observer_state = prober_(ev.node);
+  if (keep_bytes_) rec.bytes = ev.frame->payload;
+  rec.digest = digest_frame(*ev.frame);
+  records_.push_back(std::move(rec));
+}
+
+std::vector<std::size_t> TraceLog::node_records(netsim::NodeId node) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < records_.size(); ++i)
+    if (records_[i].node == node) out.push_back(i);
+  return out;
+}
+
+std::size_t TraceLog::observed_nodes() const {
+  std::set<netsim::NodeId> nodes;
+  for (const auto& r : records_) nodes.insert(r.node);
+  return nodes.size();
+}
+
+void TraceLog::dump(std::ostream& os, const netsim::Network& net) const {
+  for (const auto& r : records_) {
+    os << format_time(r.time) << ' ' << net.node_name(r.node) << " if"
+       << r.iface << (r.is_send() ? " SEND " : " RECV ")
+       << r.src.to_string() << " -> " << r.dst.to_string();
+    if (const auto* o = r.ospf()) {
+      os << " OSPF type=" << int(o->pkt_type) << " lsas=" << o->lsas.size();
+    } else if (const auto* p = r.rip()) {
+      os << " RIP cmd=" << int(p->command) << " entries=" << p->entry_count;
+    } else {
+      os << " proto=" << int(r.protocol) << " (" << r.bytes.size()
+         << " bytes)";
+    }
+    if (r.caused_by != 0) os << " caused_by=#" << r.caused_by;
+    os << " frame=#" << r.frame_id << '\n';
+  }
+}
+
+void TraceLog::save(std::ostream& os) const {
+  os << "nidkit-trace v1 " << records_.size() << '\n';
+  for (const auto& r : records_) {
+    os << r.time.count() << ' ' << r.node << ' ' << r.iface << ' '
+       << (r.is_send() ? 'S' : 'R') << ' ' << r.src.value() << ' '
+       << r.dst.value() << ' ' << int(r.protocol) << ' ' << r.frame_id << ' '
+       << r.caused_by << ' ' << r.observer_state << ' ';
+    static constexpr char kHexDigits[] = "0123456789abcdef";
+    if (r.bytes.empty()) {
+      os << '-';
+    } else {
+      for (const auto b : r.bytes) {
+        os << kHexDigits[b >> 4] << kHexDigits[b & 0xf];
+      }
+    }
+    os << '\n';
+  }
+}
+
+Result<TraceLog> TraceLog::load(std::istream& is) {
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "nidkit-trace" ||
+      version != "v1") {
+    return fail("not a nidkit-trace v1 stream");
+  }
+  TraceLog log;
+  for (std::size_t i = 0; i < count; ++i) {
+    PacketRecord r;
+    long long time_us = 0;
+    char dir = 0;
+    std::uint32_t src = 0, dst = 0;
+    int protocol = 0;
+    std::string hex;
+    if (!(is >> time_us >> r.node >> r.iface >> dir >> src >> dst >>
+          protocol >> r.frame_id >> r.caused_by >> r.observer_state >> hex)) {
+      return fail("truncated trace at record " + std::to_string(i));
+    }
+    if (dir != 'S' && dir != 'R')
+      return fail("bad direction at record " + std::to_string(i));
+    r.time = SimTime{time_us};
+    r.direction = dir == 'S' ? netsim::Direction::kSend
+                             : netsim::Direction::kRecv;
+    r.src = Ipv4Addr{src};
+    r.dst = Ipv4Addr{dst};
+    r.protocol = static_cast<std::uint8_t>(protocol);
+    if (hex != "-") {
+      if (hex.size() % 2 != 0)
+        return fail("ragged hex at record " + std::to_string(i));
+      auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      r.bytes.reserve(hex.size() / 2);
+      for (std::size_t k = 0; k < hex.size(); k += 2) {
+        const int hi = nibble(hex[k]);
+        const int lo = nibble(hex[k + 1]);
+        if (hi < 0 || lo < 0)
+          return fail("bad hex at record " + std::to_string(i));
+        r.bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+      }
+      netsim::Frame reparse;
+      reparse.protocol = r.protocol;
+      reparse.payload = r.bytes;
+      r.digest = digest_frame(reparse);
+    }
+    log.records_.push_back(std::move(r));
+  }
+  return log;
+}
+
+}  // namespace nidkit::trace

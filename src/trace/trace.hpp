@@ -1,0 +1,142 @@
+// Packet trace capture: the simulator's tcpdump.
+//
+// TraceLog attaches to a Network's tap and records every frame each router
+// sends or receives — timestamp, direction, raw wire bytes, and an eagerly
+// parsed protocol digest so the miner never re-decodes. An optional state
+// prober snapshots router-internal state (e.g. the OSPF neighbor FSM state)
+// at each event, powering the future-work state-conditioned mining.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <istream>
+
+#include "netsim/network.hpp"
+#include "packet/ospf_types.hpp"
+#include "util/ip.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace nidkit::trace {
+
+/// Parsed summary of an OSPF packet, sufficient for all keying schemes.
+struct OspfDigest {
+  std::uint8_t pkt_type = 0;  ///< wire packet type 1..5
+  std::uint8_t dbd_flags = 0;  ///< I/M/MS bits when pkt_type == 2
+  struct LsaDigest {
+    std::uint8_t lsa_type = 0;
+    std::int32_t seq = 0;
+    std::uint16_t age = 0;
+    Ipv4Addr link_state_id;
+    RouterId advertising_router;
+  };
+  /// LSA headers carried by the packet (LSU contents, LSAck/DBD headers).
+  std::vector<LsaDigest> lsas;
+
+  /// Greatest LS sequence number carried, or INT32_MIN if none.
+  std::int32_t max_seq() const;
+};
+
+/// Parsed summary of a RIP packet.
+struct RipDigest {
+  std::uint8_t command = 0;
+  std::uint16_t entry_count = 0;
+  std::uint32_t max_metric = 0;
+  bool full_table_request = false;
+};
+
+/// Parsed summary of a BGP message.
+struct BgpDigest {
+  std::uint8_t msg_type = 0;  ///< 1 OPEN, 2 UPDATE, 3 NOTIFICATION, 4 KEEPALIVE
+  std::uint32_t as_path_len = 0;
+  std::uint16_t nlri_count = 0;
+  std::uint16_t withdrawn_count = 0;
+  std::uint8_t error_code = 0;
+};
+
+/// monostate = frame did not parse as a known protocol.
+using Digest =
+    std::variant<std::monostate, OspfDigest, RipDigest, BgpDigest>;
+
+/// One captured packet event.
+struct PacketRecord {
+  SimTime time{0};
+  netsim::NodeId node = 0;
+  netsim::IfaceIndex iface = 0;
+  netsim::Direction direction = netsim::Direction::kSend;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint8_t protocol = 0;
+  std::uint64_t frame_id = 0;   ///< network-assigned frame id
+  std::uint64_t caused_by = 0;  ///< ground-truth provenance (sends only)
+  int observer_state = -1;      ///< state-prober snapshot, -1 if unprobed
+  std::vector<std::uint8_t> bytes;
+  Digest digest;
+
+  bool is_send() const { return direction == netsim::Direction::kSend; }
+  const OspfDigest* ospf() const { return std::get_if<OspfDigest>(&digest); }
+  const RipDigest* rip() const { return std::get_if<RipDigest>(&digest); }
+  const BgpDigest* bgp() const { return std::get_if<BgpDigest>(&digest); }
+};
+
+class TraceLog {
+ public:
+  /// Snapshot of router-internal state for a node, as an opaque label.
+  using StateProber = std::function<int(netsim::NodeId)>;
+
+  /// Installs this log as `net`'s tap. The log must outlive the network's
+  /// use of the tap.
+  void attach(netsim::Network& net);
+
+  void set_state_prober(StateProber prober) { prober_ = std::move(prober); }
+
+  /// Keep raw wire bytes in each record (default on; turn off to halve
+  /// memory in long sweeps — digests are always kept).
+  void set_keep_bytes(bool keep) { keep_bytes_ = keep; }
+
+  /// Appends a record directly (used when importing externally captured
+  /// traces, and by tests that need precise control over timing).
+  /// Records must be appended in non-decreasing time order.
+  void append(PacketRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<PacketRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Indices of records observed at `node`, in time order.
+  std::vector<std::size_t> node_records(netsim::NodeId node) const;
+
+  /// Number of distinct nodes that observed at least one packet.
+  std::size_t observed_nodes() const;
+
+  /// Human-readable dump, one line per record.
+  void dump(std::ostream& os, const netsim::Network& net) const;
+
+  /// Serializes the trace to a line-oriented text format ("nidkit-trace
+  /// v1") carrying raw wire bytes; digests are recomputed on load.
+  /// Requires keep_bytes (the default) — byte-less records round-trip as
+  /// undecodable.
+  void save(std::ostream& os) const;
+
+  /// Parses a trace produced by save(). Records are re-digested through
+  /// the wire codecs, so a trace saved by a newer build is re-validated.
+  static Result<TraceLog> load(std::istream& is);
+
+  void clear() { records_.clear(); }
+
+ private:
+  void on_tap(const netsim::TapEvent& ev);
+
+  std::vector<PacketRecord> records_;
+  StateProber prober_;
+  bool keep_bytes_ = true;
+};
+
+/// Parses a frame into a protocol digest (OSPF proto 89, RIP proto 17).
+Digest digest_frame(const netsim::Frame& frame);
+
+}  // namespace nidkit::trace

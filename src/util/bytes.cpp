@@ -1,0 +1,17 @@
+#include "util/bytes.hpp"
+
+namespace nidkit {
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2 + data.size() / 4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0 && i % 4 == 0) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace nidkit

@@ -1,0 +1,73 @@
+#include "util/checksum.hpp"
+
+#include <vector>
+
+namespace nidkit {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | std::uint32_t{data[i + 1]};
+  }
+  if (i < data.size()) sum += std::uint32_t{data[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+bool internet_checksum_ok(std::span<const std::uint8_t> data) {
+  // Summing a buffer that includes a correct checksum yields 0xffff, whose
+  // one's complement is zero.
+  return internet_checksum(data) == 0;
+}
+
+std::uint16_t fletcher_checksum(std::span<const std::uint8_t> lsa,
+                                std::size_t checksum_offset) {
+  // RFC 905 annex B, with the modulo deferred the way real implementations
+  // (and RFC 1008) do it. c0/c1 accumulate over the LSA with the checksum
+  // bytes treated as zero; X/Y are then placed at checksum_offset.
+  std::int32_t c0 = 0;
+  std::int32_t c1 = 0;
+  for (std::size_t i = 0; i < lsa.size(); ++i) {
+    const std::uint8_t byte =
+        (i == checksum_offset || i == checksum_offset + 1) ? 0 : lsa[i];
+    c0 += byte;
+    c1 += c0;
+    if ((i % 4102) == 4101) {  // avoid 32-bit overflow on long LSAs
+      c0 %= 255;
+      c1 %= 255;
+    }
+  }
+  c0 %= 255;
+  c1 %= 255;
+
+  // With c1 accumulating byte i at weight (L - i), placing X at offset o
+  // and Y at o+1 must zero both sums:
+  //   C0 + X + Y ≡ 0  and  C1 + (L-o)·X + (L-o-1)·Y ≡ 0   (mod 255)
+  // which solves to X = (L-o-1)·C0 - C1 and Y = -C0 - X.
+  const auto len = static_cast<std::int32_t>(lsa.size());
+  const auto off = static_cast<std::int32_t>(checksum_offset);
+  std::int32_t x = ((len - off - 1) * c0 - c1) % 255;
+  if (x < 0) x += 255;
+  std::int32_t y = (-c0 - x) % 255;
+  if (y < 0) y += 255;
+  return static_cast<std::uint16_t>((x << 8) | y);
+}
+
+bool fletcher_checksum_ok(std::span<const std::uint8_t> lsa) {
+  // For verification, sum the LSA as transmitted (checksum included); both
+  // accumulators must fold to zero mod 255.
+  std::int32_t c0 = 0;
+  std::int32_t c1 = 0;
+  for (std::size_t i = 0; i < lsa.size(); ++i) {
+    c0 += lsa[i];
+    c1 += c0;
+    if ((i % 4102) == 4101) {
+      c0 %= 255;
+      c1 %= 255;
+    }
+  }
+  return (c0 % 255) == 0 && (c1 % 255) == 0;
+}
+
+}  // namespace nidkit

@@ -1,0 +1,38 @@
+// Checksums used by the OSPFv2 wire format.
+//
+// * RFC 1071 "internet checksum" covers the OSPF packet header + body
+//   (with the checksum field itself zeroed).
+// * The Fletcher checksum (ISO 8473 / RFC 905 annex B, as profiled by
+//   RFC 2328 §12.1.7) covers each LSA, excluding the LS age field.
+//
+// Both are implemented exactly as routers compute them so that a trace from
+// the simulator is bit-compatible with a capture of real daemons.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nidkit {
+
+/// RFC 1071 internet checksum over `data`. The caller must zero the
+/// checksum field in the buffer before calling.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Verifies an embedded internet checksum: the checksum over a buffer that
+/// already contains its checksum field folds to zero.
+bool internet_checksum_ok(std::span<const std::uint8_t> data);
+
+/// ISO/Fletcher checksum as used for OSPF LSAs (RFC 2328 §12.1.7).
+///
+/// `lsa` is the complete LSA *excluding the 2-byte LS age field* (i.e.
+/// starting at the Options byte), with the 2-byte checksum field zeroed.
+/// `checksum_offset` is the byte offset of the checksum field within `lsa`
+/// (14 for a standard LSA header once the age is stripped).
+std::uint16_t fletcher_checksum(std::span<const std::uint8_t> lsa,
+                                std::size_t checksum_offset);
+
+/// Verifies a Fletcher checksum embedded at `checksum_offset` within `lsa`
+/// (again excluding the LS age field).
+bool fletcher_checksum_ok(std::span<const std::uint8_t> lsa);
+
+}  // namespace nidkit

@@ -1,0 +1,25 @@
+#include "util/ip.hpp"
+
+#include <cstdio>
+
+namespace nidkit {
+
+bool Ipv4Addr::parse(const std::string& text, Ipv4Addr* out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return false;
+  *out = Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                  static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+  return true;
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace nidkit

@@ -1,0 +1,59 @@
+// IPv4 address / router-id strong types.
+//
+// OSPF identifies routers, areas and links with 32-bit values rendered in
+// dotted-quad notation. We wrap the raw word in a strong type so a router id
+// cannot be silently confused with, say, an LSA sequence number.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace nidkit {
+
+/// A 32-bit IPv4 address in host byte order.
+///
+/// Also used (per RFC 2328) for OSPF Router IDs and Area IDs, which share
+/// the dotted-quad representation but are not addresses; see the RouterId
+/// and AreaId aliases below.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("10.0.0.1"). Returns false on malformed
+  /// input and leaves *out untouched.
+  static bool parse(const std::string& text, Ipv4Addr* out);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  constexpr bool is_zero() const { return value_ == 0; }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// OSPF Router ID: a 32-bit identifier, unique per router, dotted-quad.
+using RouterId = Ipv4Addr;
+
+/// OSPF Area ID (we model a single backbone area, 0.0.0.0).
+using AreaId = Ipv4Addr;
+
+/// The OSPF backbone area.
+inline constexpr AreaId kBackboneArea{};
+
+/// AllSPFRouters multicast group (224.0.0.5), destination of most OSPF
+/// packets on broadcast networks and all packets on point-to-point links.
+inline constexpr Ipv4Addr kAllSpfRouters{224, 0, 0, 5};
+
+/// AllDRouters multicast group (224.0.0.6), listened to by the DR/BDR.
+inline constexpr Ipv4Addr kAllDRouters{224, 0, 0, 6};
+
+}  // namespace nidkit

@@ -1,0 +1,17 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace nidkit {
+
+LogLevel Log::level_ = LogLevel::kOff;
+
+void Log::write(LogLevel level, SimTime when, const std::string& tag,
+                const std::string& message) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%10s] %-5s [%s] %s\n", format_time(when).c_str(),
+               kNames[static_cast<int>(level)], tag.c_str(), message.c_str());
+}
+
+}  // namespace nidkit

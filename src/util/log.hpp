@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// Logging is global-off by default: experiment runs are silent and the
+// harness enables protocol-level logging only when a scenario sets
+// `verbose`. The logger is not thread-safe by design — the simulator is
+// single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace nidkit {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  /// Emits one line: "[   12.345s] [ospf] message". `when` may be the
+  /// current simulation time; pass kSimStart for time-less messages.
+  static void write(LogLevel level, SimTime when, const std::string& tag,
+                    const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace nidkit
+
+/// Streams `expr` into the log if `lvl` is enabled. Usage:
+///   NIDKIT_LOG(kDebug, now, "ospf", "neighbor " << id << " -> Full");
+#define NIDKIT_LOG(lvl, when, tag, expr)                                  \
+  do {                                                                    \
+    if (::nidkit::Log::enabled(::nidkit::LogLevel::lvl)) {                \
+      std::ostringstream nidkit_log_os_;                                  \
+      nidkit_log_os_ << expr;                                             \
+      ::nidkit::Log::write(::nidkit::LogLevel::lvl, (when), (tag),        \
+                           nidkit_log_os_.str());                         \
+    }                                                                     \
+  } while (0)

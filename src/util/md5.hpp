@@ -1,0 +1,22 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// Needed by OSPFv2 cryptographic authentication (RFC 2328 §D.4.3), which
+// appends MD5(packet || padded-secret) to each packet. MD5 is long broken
+// for security purposes; it is implemented here because the protocol
+// specifies it, not because it is a good MAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace nidkit {
+
+/// The 16-byte MD5 digest of `data`.
+std::array<std::uint8_t, 16> md5(std::span<const std::uint8_t> data);
+
+/// Digest rendered as 32 lowercase hex characters (for tests and logs).
+std::string md5_hex(std::span<const std::uint8_t> data);
+
+}  // namespace nidkit

@@ -1,0 +1,53 @@
+// Minimal expected-like result type (C++20 predates std::expected).
+//
+// Decoders return Result<T>: either a value or a human-readable error.
+// Per the Core Guidelines we avoid exceptions for anticipated, recoverable
+// conditions such as malformed packets arriving off the wire.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nidkit {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(state_).message;
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Shorthand for failure construction: `return fail("truncated header");`
+inline Error fail(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace nidkit

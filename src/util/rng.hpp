@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Every scenario takes a seed and derives all timing jitter, loss decisions
+// and reordering from one xoshiro256++ stream, so experiments are exactly
+// reproducible: the same (scenario, seed) pair always yields the same trace
+// and therefore the same mined relationship tables.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace nidkit {
+
+/// xoshiro256++ generator (Blackman & Vigna). Small, fast, and — unlike
+/// std::mt19937 across standard libraries — bit-for-bit portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform duration in [lo, hi].
+  SimDuration jitter(SimDuration lo, SimDuration hi);
+
+  /// Derives an independent child stream. Used to give each router / link
+  /// its own stream so adding a component does not perturb others' draws.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace nidkit

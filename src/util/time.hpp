@@ -1,0 +1,36 @@
+// Simulation time types.
+//
+// The whole toolkit runs on a single deterministic clock: integer
+// microseconds since simulation start, carried as std::chrono::microseconds
+// so arithmetic and comparisons come from <chrono> and accidental unit
+// mistakes (ms vs us) are caught by the type system.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace nidkit {
+
+/// Absolute simulation time (microseconds since simulation start).
+using SimTime = std::chrono::microseconds;
+
+/// Relative simulation time span.
+using SimDuration = std::chrono::microseconds;
+
+/// Time zero: the instant the simulation starts.
+inline constexpr SimTime kSimStart{0};
+
+/// Renders a simulation time as seconds with millisecond precision,
+/// e.g. "12.345s". Intended for traces and reports.
+inline std::string format_time(SimTime t) {
+  const auto us = t.count();
+  const auto whole = us / 1'000'000;
+  const auto frac = (us % 1'000'000) / 1'000;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld.%03llds",
+                static_cast<long long>(whole), static_cast<long long>(frac));
+  return buf;
+}
+
+}  // namespace nidkit

@@ -1,0 +1,176 @@
+// CLI tests: argument parsing and end-to-end subcommand runs through the
+// stream-parameterized entry point.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nidkit::cli {
+namespace {
+
+struct Run {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+Run run(std::initializer_list<std::string> tokens) {
+  std::ostringstream out, err;
+  const int code = run_cli(std::vector<std::string>(tokens), out, err);
+  return Run{code, out.str(), err.str()};
+}
+
+TEST(ParseArgs, CommandAndFlags) {
+  std::ostringstream err;
+  const auto args = parse_args({"audit", "--impls", "frr,bird",
+                                "--tdelay-ms", "900"},
+                               err);
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->command, "audit");
+  EXPECT_EQ(args->get("impls", ""), "frr,bird");
+  EXPECT_EQ(args->get_int("tdelay-ms"), 900);
+  EXPECT_EQ(args->get("missing", "fallback"), "fallback");
+  EXPECT_FALSE(args->get_int("impls").has_value());  // not numeric
+}
+
+TEST(ParseArgs, FlagWithoutValueRejected) {
+  std::ostringstream err;
+  EXPECT_FALSE(parse_args({"audit", "--impls"}, err).has_value());
+  EXPECT_NE(err.str().find("needs a value"), std::string::npos);
+}
+
+TEST(ParseArgs, StrayPositionalRejected) {
+  std::ostringstream err;
+  EXPECT_FALSE(parse_args({"audit", "oops"}, err).has_value());
+}
+
+TEST(ParseArgs, EmptyIsHelp) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage"), std::string::npos);
+}
+
+TEST(SplitList, Splits) {
+  EXPECT_EQ(split_list("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list(""), std::vector<std::string>{});
+  EXPECT_EQ(split_list("x"), std::vector<std::string>{"x"});
+  EXPECT_EQ(split_list("a,,b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = run({"frobnicate"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, AuditSmallRunPrintsMatrixAndFlags) {
+  const auto r = run({"audit", "--impls", "frr,bird", "--topos", "linear-2",
+                      "--seeds", "1", "--duration-s", "120"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Snd("), std::string::npos);
+  EXPECT_NE(r.out.find("frr"), std::string::npos);
+  EXPECT_NE(r.out.find("bird"), std::string::npos);
+}
+
+TEST(Cli, BgpAuditFlagsTheIncident) {
+  const auto r = run({"audit", "--protocol", "bgp", "--topos", "linear-2",
+                      "--seeds", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("UPDATE+longpath -> NOTIFICATION"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("bgp-fragile"), std::string::npos);
+}
+
+TEST(Cli, RipAuditFlagsPoison) {
+  const auto r = run({"audit", "--protocol", "rip", "--topos", "linear-3",
+                      "--seeds", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Response(poison)"), std::string::npos);
+}
+
+TEST(Cli, AuditRejectsUnknownImplementation) {
+  const auto r = run({"audit", "--impls", "frr,quagga"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown OSPF implementation"), std::string::npos);
+}
+
+TEST(Cli, AuditRejectsSingleImplementation) {
+  const auto r = run({"audit", "--impls", "frr"});
+  EXPECT_NE(r.code, 0);
+}
+
+TEST(Cli, AuditRejectsBadTopology) {
+  const auto r = run({"audit", "--impls", "frr,bird", "--topos", "moebius-3"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown topology"), std::string::npos);
+}
+
+TEST(Cli, TraceThenMineRoundTrips) {
+  const std::string path = "cli_test_trace.tmp";
+  const auto t = run({"trace", "--impl", "frr", "--topo", "linear-2",
+                      "--duration-s", "60", "--out", path});
+  EXPECT_EQ(t.code, 0) << t.err;
+  EXPECT_NE(t.out.find("wrote"), std::string::npos);
+
+  const auto m = run({"mine", "--in", path});
+  EXPECT_EQ(m.code, 0) << m.err;
+  EXPECT_NE(m.out.find("send->recv"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TraceToStdoutIsLoadableFormat) {
+  const auto t = run({"trace", "--impl", "bird", "--topo", "linear-2",
+                      "--duration-s", "60"});
+  EXPECT_EQ(t.code, 0);
+  EXPECT_EQ(t.out.rfind("nidkit-trace v1", 0), 0u);
+}
+
+TEST(Cli, MineMissingFileFails) {
+  const auto r = run({"mine", "--in", "/nonexistent/trace.txt"});
+  EXPECT_NE(r.code, 0);
+}
+
+TEST(Cli, InjectReportsResponses) {
+  const auto r = run({"inject", "--target", "bird", "--stimulus",
+                      "LSU-stale"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("LSAck+gtSN"), std::string::npos);
+}
+
+TEST(Cli, InjectRejectsUnknownStimulus) {
+  const auto r = run({"inject", "--target", "frr", "--stimulus", "Nonsense"});
+  EXPECT_NE(r.code, 0);
+}
+
+TEST(Cli, ValidateConfirmsFlagsByInjection) {
+  const auto r = run({"validate", "--impls", "frr,bird", "--topos",
+                      "linear-2,mesh-3", "--seeds", "1", "--duration-s",
+                      "120"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mined"), std::string::npos);
+  EXPECT_NE(r.out.find("CONFIRMED"), std::string::npos);
+  EXPECT_NE(r.out.find("confirmed by injection"), std::string::npos);
+}
+
+TEST(Cli, SweepPrintsSeries) {
+  const auto r = run({"sweep", "--impl", "frr", "--max-ms", "300",
+                      "--step-ms", "150"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("tdelay_ms"), std::string::npos);
+  // 0, 150, 300 => header + 3 rows.
+  EXPECT_EQ(std::count(r.out.begin(), r.out.end(), '\n'), 4);
+}
+
+TEST(Cli, StabilityPrintsSeedFractions) {
+  const auto r = run({"stability", "--impl", "frr", "--topos", "linear-2",
+                      "--seeds", "1,2", "--duration-s", "120"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2/2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nidkit::cli

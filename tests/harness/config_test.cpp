@@ -1,0 +1,100 @@
+// Configuration-surface tests: the small helpers gluing experiment
+// parameters into scenarios and miners.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace nidkit::harness {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Config, MinerConfigMirrorsExperiment) {
+  ExperimentConfig c;
+  c.tdelay = 300ms;
+  c.window_factor = 2.5;
+  c.miner_horizon = 7s;
+  const auto m = c.miner_config();
+  EXPECT_EQ(m.tdelay, SimDuration{300ms});
+  EXPECT_DOUBLE_EQ(m.window_factor, 2.5);
+  EXPECT_EQ(m.horizon, SimDuration{7s});
+  EXPECT_EQ(m.threshold(), SimDuration{750ms});
+}
+
+TEST(Config, MinerThresholdScalesWithFactor) {
+  mining::MinerConfig m;
+  m.tdelay = 900ms;
+  m.window_factor = 2.0;
+  EXPECT_EQ(m.threshold(), SimDuration{1800ms});
+  m.window_factor = 1.0;
+  EXPECT_EQ(m.threshold(), SimDuration{900ms});
+  m.window_factor = 0.5;
+  EXPECT_EQ(m.threshold(), SimDuration{450ms});
+}
+
+TEST(Config, ScenarioForCopiesExperimentKnobs) {
+  ExperimentConfig c;
+  c.tdelay = 450ms;
+  c.link_jitter = 33ms;
+  c.link_loss = 0.007;
+  c.duration = 99s;
+  c.lsa_refresh = 31s;
+  const auto s = c.scenario_for(topo::Spec{topo::Kind::kRing, 4}, 42);
+  EXPECT_EQ(s.topology.kind, topo::Kind::kRing);
+  EXPECT_EQ(s.topology.routers, 4u);
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_EQ(s.tdelay, SimDuration{450ms});
+  EXPECT_EQ(s.link_jitter, SimDuration{33ms});
+  EXPECT_DOUBLE_EQ(s.link_loss, 0.007);
+  EXPECT_EQ(s.duration, SimDuration{99s});
+  EXPECT_EQ(s.lsa_refresh, SimDuration{31s});
+}
+
+TEST(Config, PaperDefaultsMatchThePaper) {
+  ExperimentConfig c;
+  EXPECT_EQ(c.tdelay, SimDuration{900ms});       // §3: TDelay = 900 ms
+  EXPECT_DOUBLE_EQ(c.window_factor, 2.0);        // §2: at least 2*TDelay
+  ASSERT_EQ(c.topologies.size(), 4u);            // §2: four topologies
+  EXPECT_EQ(c.topologies[0].name(), "linear-2");
+  EXPECT_EQ(c.topologies[3].name(), "mesh-5");
+  // Horizon below the retransmission timeout, per the paper's TDelay
+  // upper-bound rule.
+  EXPECT_LE(c.miner_horizon, ospf::BehaviorProfile{}.rxmt_interval);
+}
+
+TEST(Config, DefaultProfilesHaveRfcTimers) {
+  ospf::RouterConfig cfg;
+  EXPECT_EQ(cfg.hello_interval, SimDuration{10s});
+  EXPECT_EQ(cfg.dead_interval, SimDuration{40s});
+  EXPECT_EQ(cfg.mtu, 1500);
+  EXPECT_TRUE(cfg.auth_password.empty());
+  EXPECT_TRUE(cfg.md5_key.empty());
+  EXPECT_EQ(cfg.cost_of(0), 1);
+  cfg.interface_costs[2] = 30;
+  EXPECT_EQ(cfg.cost_of(2), 30);
+  EXPECT_EQ(cfg.cost_of(3), 1);
+}
+
+TEST(Config, BgpDefaultsMatchRfcSuggestions) {
+  bgp::BgpProfile p;
+  EXPECT_EQ(p.hold_time, 90);
+  EXPECT_EQ(p.keepalive_interval, SimDuration{30s});  // hold/3
+  EXPECT_EQ(bgp::bgp_robust_profile().as_path_accept_limit, 0u);
+  EXPECT_GT(bgp::bgp_fragile_profile().as_path_accept_limit, 0u);
+}
+
+TEST(Config, RipProfilesDifferWhereDocumented) {
+  const auto classic = rip::rip_classic_profile();
+  const auto eager = rip::rip_eager_profile();
+  const auto v1 = rip::rip_v1_profile();
+  EXPECT_FALSE(classic.poisoned_reverse);
+  EXPECT_TRUE(eager.poisoned_reverse);
+  EXPECT_GT(classic.triggered_delay, eager.triggered_delay);
+  EXPECT_EQ(v1.send_version, 1);
+  EXPECT_TRUE(v1.accept_v1);
+  EXPECT_EQ(classic.send_version, 2);
+  EXPECT_FALSE(classic.accept_v1);
+}
+
+}  // namespace
+}  // namespace nidkit::harness

@@ -1,0 +1,135 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit::harness {
+namespace {
+
+using namespace std::chrono_literals;
+
+ExperimentConfig small_config() {
+  ExperimentConfig c;
+  c.topologies = {topo::Spec{topo::Kind::kLinear, 2},
+                  topo::Spec{topo::Kind::kMesh, 3}};
+  c.seeds = {1};
+  c.duration = 120s;
+  return c;
+}
+
+TEST(Experiment, MineOspfProducesRelations) {
+  const auto set = mine_ospf(ospf::frr_profile(), small_config(),
+                             mining::ospf_type_scheme());
+  EXPECT_GT(set.size(), 5u);
+  // The universal handshake relationship: a sent DBD is answered by the
+  // peer's DBD, arriving one RTT (= 2*TDelay) later — exactly at the
+  // attribution threshold, so it is always observable.
+  EXPECT_TRUE(set.has(mining::RelationDirection::kSendToRecv, "DBD", "DBD"));
+}
+
+TEST(Experiment, AuditIdenticalProfilesFindsNothing) {
+  auto frr2 = ospf::frr_profile();
+  frr2.name = "frr-clone";
+  const auto audit = audit_ospf({ospf::frr_profile(), frr2}, small_config(),
+                                mining::ospf_type_scheme());
+  EXPECT_TRUE(audit.discrepancies.empty())
+      << "identical implementations must not be flagged";
+}
+
+TEST(Experiment, AuditDifferentProfilesFlagsDiscrepancies) {
+  const auto audit =
+      audit_ospf({ospf::frr_profile(), ospf::bird_profile()}, small_config(),
+                 mining::ospf_type_scheme());
+  EXPECT_FALSE(audit.discrepancies.empty());
+  // Every discrepancy names one of the two implementations on each side.
+  for (const auto& d : audit.discrepancies) {
+    EXPECT_TRUE(d.present_in == "frr" || d.present_in == "bird");
+    EXPECT_TRUE(d.absent_in == "frr" || d.absent_in == "bird");
+    EXPECT_NE(d.present_in, d.absent_in);
+    EXPECT_GT(d.evidence.count, 0u);
+  }
+}
+
+TEST(Experiment, AuditIsDeterministic) {
+  const auto a = audit_ospf({ospf::frr_profile(), ospf::bird_profile()},
+                            small_config(), mining::ospf_type_scheme());
+  const auto b = audit_ospf({ospf::frr_profile(), ospf::bird_profile()},
+                            small_config(), mining::ospf_type_scheme());
+  ASSERT_EQ(a.discrepancies.size(), b.discrepancies.size());
+  for (std::size_t i = 0; i < a.discrepancies.size(); ++i) {
+    EXPECT_EQ(a.discrepancies[i].cell, b.discrepancies[i].cell);
+    EXPECT_EQ(a.discrepancies[i].present_in, b.discrepancies[i].present_in);
+  }
+}
+
+TEST(Experiment, UnionGrowsWithTopologies) {
+  ExperimentConfig one = small_config();
+  one.topologies = {topo::Spec{topo::Kind::kLinear, 2}};
+  ExperimentConfig two = small_config();
+  const auto set1 =
+      mine_ospf(ospf::frr_profile(), one, mining::ospf_type_scheme());
+  const auto set2 =
+      mine_ospf(ospf::frr_profile(), two, mining::ospf_type_scheme());
+  EXPECT_GE(set2.size(), set1.size());
+  // Union property: everything mined from the subset appears in the
+  // superset run.
+  for (const auto dir : {mining::RelationDirection::kSendToRecv,
+                         mining::RelationDirection::kRecvToSend})
+    for (const auto& [cell, stats] : set1.cells(dir))
+      EXPECT_NE(set2.find(dir, cell), nullptr)
+          << cell.stimulus << "->" << cell.response;
+}
+
+TEST(Experiment, ExtensivenessCumulativeIsMonotone) {
+  ExperimentConfig c = small_config();
+  c.topologies = topo::paper_topologies();
+  const auto points = topology_extensiveness(ospf::frr_profile(), c,
+                                             mining::ospf_type_scheme());
+  ASSERT_EQ(points.size(), 4u);
+  std::size_t prev = 0;
+  for (const auto& p : points) {
+    EXPECT_GE(p.cumulative_cells, prev);
+    EXPECT_EQ(p.cumulative_cells, prev + p.new_cells);
+    prev = p.cumulative_cells;
+  }
+  EXPECT_GT(points.front().new_cells, 0u);
+}
+
+TEST(Experiment, TdelaySweepReportsEveryPoint) {
+  ExperimentConfig c = small_config();
+  const std::vector<SimDuration> tds = {0ms, 900ms};
+  const auto sweep = tdelay_sweep(ospf::frr_profile(), c, tds,
+                                  mining::ospf_type_scheme());
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_EQ(sweep[0].tdelay, SimDuration{0ms});
+  EXPECT_EQ(sweep[1].tdelay, SimDuration{900ms});
+  for (const auto& p : sweep) {
+    EXPECT_GE(p.precision, 0.0);
+    EXPECT_LE(p.precision, 1.0);
+    EXPECT_GE(p.recall, 0.0);
+    EXPECT_LE(p.recall, 1.0);
+    EXPECT_GT(p.mined_cells, 0u);
+  }
+}
+
+TEST(Experiment, MineRipProducesRelations) {
+  ExperimentConfig c = small_config();
+  c.duration = 240s;
+  const auto set = mine_rip(rip::rip_classic_profile(), c,
+                            mining::rip_command_scheme());
+  EXPECT_GT(set.size(), 0u);
+  EXPECT_TRUE(set.has(mining::RelationDirection::kRecvToSend, "Request(full)",
+                      "Response"));
+}
+
+TEST(Experiment, NamedViewMatchesByImpl) {
+  const auto audit =
+      audit_ospf({ospf::frr_profile(), ospf::bird_profile()}, small_config(),
+                 mining::ospf_type_scheme());
+  const auto named = audit.named();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].name, "frr");
+  EXPECT_EQ(named[0].relations, &audit.by_impl.at("frr"));
+}
+
+}  // namespace
+}  // namespace nidkit::harness

@@ -1,0 +1,169 @@
+// Packet-injection validation tests (the paper's future-work feature):
+// each supported stimulus class is injected into a target implementation
+// and the response classes are asserted.
+#include "harness/injection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit::harness {
+namespace {
+
+using namespace std::chrono_literals;
+
+InjectionConfig config_for(const std::string& stimulus,
+                           ospf::BehaviorProfile profile) {
+  InjectionConfig c;
+  c.stimulus = stimulus;
+  c.target_profile = std::move(profile);
+  return c;
+}
+
+TEST(Injection, SupportedStimuliAdvertised) {
+  for (const auto* s : {"Hello", "DBD", "LSR", "LSU", "LSU+gtSN", "LSU-stale",
+                        "LSAck", "LSAck+gtSN"})
+    EXPECT_TRUE(injection_supports(s)) << s;
+  EXPECT_FALSE(injection_supports("Bogus"));
+}
+
+TEST(Injection, UnsupportedStimulusNotInjected) {
+  const auto out = inject_and_observe(config_for("Bogus", ospf::frr_profile()));
+  EXPECT_FALSE(out.injected);
+}
+
+TEST(Injection, LsrTriggersLsuResponse) {
+  for (const auto& profile : {ospf::frr_profile(), ospf::bird_profile()}) {
+    const auto out = inject_and_observe(config_for("LSR", profile));
+    ASSERT_TRUE(out.injected) << profile.name;
+    EXPECT_TRUE(out.saw("LSU")) << profile.name;
+  }
+}
+
+TEST(Injection, FreshLsuAcknowledged) {
+  for (const auto& profile : {ospf::frr_profile(), ospf::bird_profile()}) {
+    const auto out = inject_and_observe(config_for("LSU", profile));
+    ASSERT_TRUE(out.injected) << profile.name;
+    EXPECT_TRUE(out.saw("LSAck")) << profile.name;
+  }
+}
+
+TEST(Injection, StaleLsuDistinguishesTheImplementations) {
+  // The paper's flagged discrepancy, validated by injection: FRR answers a
+  // stale LSU with the newer LSA; BIRD acknowledges it from its database
+  // (an LSAck carrying a greater LS-SN).
+  const auto frr =
+      inject_and_observe(config_for("LSU-stale", ospf::frr_profile()));
+  ASSERT_TRUE(frr.injected);
+  EXPECT_TRUE(frr.saw("LSU+gtSN"));
+  EXPECT_FALSE(frr.saw("LSAck+gtSN"));
+
+  const auto bird =
+      inject_and_observe(config_for("LSU-stale", ospf::bird_profile()));
+  ASSERT_TRUE(bird.injected);
+  EXPECT_TRUE(bird.saw("LSAck+gtSN"));
+  EXPECT_FALSE(bird.saw("LSU+gtSN"));
+}
+
+TEST(Injection, UnsolicitedAckDrawsNoResponse) {
+  // Neither implementation reacts to an unsolicited ack of the current
+  // instance — the Table 2 row that is Ø for both.
+  for (const auto& profile : {ospf::frr_profile(), ospf::bird_profile()}) {
+    const auto out = inject_and_observe(config_for("LSAck", profile));
+    ASSERT_TRUE(out.injected) << profile.name;
+    EXPECT_FALSE(out.saw("LSU+gtSN")) << profile.name;
+    EXPECT_FALSE(out.saw("LSAck+gtSN")) << profile.name;
+  }
+}
+
+TEST(Injection, GreaterSnAckDrawsNoGreaterSnResponse) {
+  for (const auto& profile : {ospf::frr_profile(), ospf::bird_profile()}) {
+    const auto out = inject_and_observe(config_for("LSAck+gtSN", profile));
+    ASSERT_TRUE(out.injected) << profile.name;
+    EXPECT_FALSE(out.saw("LSAck+gtSN")) << profile.name;
+  }
+}
+
+TEST(Injection, OutOfSequenceDbdRestartsExchange) {
+  for (const auto& profile : {ospf::frr_profile(), ospf::bird_profile()}) {
+    const auto out = inject_and_observe(config_for("DBD", profile));
+    ASSERT_TRUE(out.injected) << profile.name;
+    EXPECT_TRUE(out.saw("DBD")) << profile.name
+                                << ": SeqNumberMismatch must restart the "
+                                   "exchange with a fresh DBD";
+  }
+}
+
+TEST(Injection, HelloKeepsAdjacencyQuiet) {
+  const auto out = inject_and_observe(config_for("Hello", ospf::frr_profile()));
+  ASSERT_TRUE(out.injected);
+  // A routine hello in Full state provokes no database traffic.
+  EXPECT_FALSE(out.saw("LSR"));
+  EXPECT_FALSE(out.saw("DBD"));
+}
+
+TEST(Validation, StimulusForCellMapsRefinements) {
+  using mining::RelationCell;
+  const auto dir = mining::RelationDirection::kSendToRecv;
+  EXPECT_EQ(stimulus_for_cell(RelationCell{"LSU", "LSAck+gtSN"}, dir),
+            "LSU-stale");
+  EXPECT_EQ(stimulus_for_cell(RelationCell{"LSAck", "LSAck+gtSN"}, dir),
+            "LSAck+gtSN");
+  EXPECT_EQ(stimulus_for_cell(RelationCell{"LSR", "LSU"}, dir), "LSR");
+  EXPECT_EQ(stimulus_for_cell(RelationCell{"Hello", "Hello"}, dir), "Hello");
+  // State-conditioned labels strip to their base type.
+  EXPECT_EQ(stimulus_for_cell(RelationCell{"LSR@Loading", "LSU@Full"}, dir),
+            "LSR");
+  EXPECT_EQ(stimulus_for_cell(RelationCell{"Bogus", "X"}, dir), "");
+}
+
+TEST(Validation, ConfirmsTheTable2Flag) {
+  detect::Discrepancy d;
+  d.direction = mining::RelationDirection::kSendToRecv;
+  d.cell = {"LSU", "LSAck+gtSN"};
+  d.present_in = "bird";
+  d.absent_in = "frr";
+  const std::map<std::string, ospf::BehaviorProfile> impls = {
+      {"frr", ospf::frr_profile()}, {"bird", ospf::bird_profile()}};
+  const auto report = validate_discrepancies({d}, impls);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].verdict, Verdict::kConfirmed);
+  EXPECT_EQ(report[0].stimulus, "LSU-stale");
+  EXPECT_TRUE(report[0].outcome_present.saw("LSAck+gtSN"));
+  EXPECT_FALSE(report[0].outcome_absent.saw("LSAck+gtSN"));
+}
+
+TEST(Validation, UnknownImplementationIsUnsupported) {
+  detect::Discrepancy d;
+  d.cell = {"LSR", "LSU"};
+  d.present_in = "quagga";
+  d.absent_in = "frr";
+  const std::map<std::string, ospf::BehaviorProfile> impls = {
+      {"frr", ospf::frr_profile()}};
+  const auto report = validate_discrepancies({d}, impls);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].verdict, Verdict::kUnsupported);
+}
+
+TEST(Validation, IdenticalBehaviourNotReproduced) {
+  // LSR handling is identical across profiles; a (hypothetical) flag on
+  // it must come back not-reproduced.
+  detect::Discrepancy d;
+  d.direction = mining::RelationDirection::kSendToRecv;
+  d.cell = {"LSR", "LSU"};
+  d.present_in = "frr";
+  d.absent_in = "strict";
+  const std::map<std::string, ospf::BehaviorProfile> impls = {
+      {"frr", ospf::frr_profile()}, {"strict", ospf::strict_profile()}};
+  const auto report = validate_discrepancies({d}, impls);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].verdict, Verdict::kNotReproduced);
+}
+
+TEST(Injection, DeterministicAcrossRuns) {
+  const auto a = inject_and_observe(config_for("LSR", ospf::frr_profile()));
+  const auto b = inject_and_observe(config_for("LSR", ospf::frr_profile()));
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.responses, b.responses);
+}
+
+}  // namespace
+}  // namespace nidkit::harness

@@ -1,0 +1,129 @@
+#include "mining/relation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit::mining {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kSR = RelationDirection::kSendToRecv;
+constexpr auto kRS = RelationDirection::kRecvToSend;
+
+TEST(RelationSet, AddAndHas) {
+  RelationSet set;
+  set.add(kSR, {"LSU", "LSAck"}, SimTime{1s}, 10, 11);
+  EXPECT_TRUE(set.has(kSR, "LSU", "LSAck"));
+  EXPECT_FALSE(set.has(kRS, "LSU", "LSAck"));  // directions are distinct
+  EXPECT_FALSE(set.has(kSR, "LSAck", "LSU"));  // cells are ordered pairs
+}
+
+TEST(RelationSet, CountsAccumulate) {
+  RelationSet set;
+  set.add(kSR, {"A", "B"}, SimTime{1s}, 0, 1);
+  set.add(kSR, {"A", "B"}, SimTime{2s}, 2, 3);
+  const auto* stats = set.find(kSR, {"A", "B"});
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 2u);
+}
+
+TEST(RelationSet, EarliestExampleKept) {
+  RelationSet set;
+  set.add(kSR, {"A", "B"}, SimTime{5s}, 50, 51);
+  set.add(kSR, {"A", "B"}, SimTime{2s}, 20, 21);
+  set.add(kSR, {"A", "B"}, SimTime{9s}, 90, 91);
+  const auto* stats = set.find(kSR, {"A", "B"});
+  EXPECT_EQ(stats->first_seen, SimTime{2s});
+  EXPECT_EQ(stats->example_stimulus, 20u);
+  EXPECT_EQ(stats->example_response, 21u);
+}
+
+TEST(RelationSet, SizeCountsBothDirections) {
+  RelationSet set;
+  set.add(kSR, {"A", "B"}, SimTime{0s}, 0, 0);
+  set.add(kSR, {"A", "C"}, SimTime{0s}, 0, 0);
+  set.add(kRS, {"A", "B"}, SimTime{0s}, 0, 0);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(RelationSet, MergeUnionsAndAccumulates) {
+  RelationSet a, b;
+  a.add(kSR, {"X", "Y"}, SimTime{3s}, 30, 31);
+  b.add(kSR, {"X", "Y"}, SimTime{1s}, 10, 11);
+  b.add(kRS, {"P", "Q"}, SimTime{2s}, 20, 21);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  const auto* xy = a.find(kSR, {"X", "Y"});
+  EXPECT_EQ(xy->count, 2u);
+  EXPECT_EQ(xy->first_seen, SimTime{1s});  // merge keeps the earlier example
+  EXPECT_EQ(xy->example_stimulus, 10u);
+  EXPECT_TRUE(a.has(kRS, "P", "Q"));
+}
+
+TEST(RelationSet, MergeWithEmptyIsIdentity) {
+  RelationSet a, empty;
+  a.add(kSR, {"X", "Y"}, SimTime{3s}, 0, 0);
+  a.merge(empty);
+  EXPECT_EQ(a.size(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.size(), 1u);
+}
+
+TEST(RelationSet, LabelUniverses) {
+  RelationSet set;
+  set.add(kSR, {"A", "B"}, SimTime{0s}, 0, 0);
+  set.add(kRS, {"C", "D"}, SimTime{0s}, 0, 0);
+  const auto stims = set.stimulus_labels();
+  const auto resps = set.response_labels();
+  EXPECT_TRUE(stims.count("A"));
+  EXPECT_TRUE(stims.count("C"));
+  EXPECT_TRUE(resps.count("B"));
+  EXPECT_TRUE(resps.count("D"));
+  EXPECT_FALSE(stims.count("B"));
+}
+
+TEST(RelationSet, FindMissingReturnsNull) {
+  RelationSet set;
+  EXPECT_EQ(set.find(kSR, {"no", "pe"}), nullptr);
+}
+
+TEST(ResponseProfile, GroupsByStimulusWithFractions) {
+  RelationSet set;
+  for (int i = 0; i < 6; ++i) set.add(kSR, {"LSU", "LSAck"}, SimTime{0s}, 0, 0);
+  for (int i = 0; i < 3; ++i) set.add(kSR, {"LSU", "LSU"}, SimTime{0s}, 0, 0);
+  set.add(kSR, {"LSU", "Hello"}, SimTime{0s}, 0, 0);
+  set.add(kSR, {"Hello", "Hello"}, SimTime{0s}, 0, 0);
+
+  const auto profile = response_profile(set, kSR);
+  ASSERT_EQ(profile.by_stimulus.size(), 2u);
+  const auto& lsu = profile.by_stimulus.at("LSU");
+  ASSERT_EQ(lsu.size(), 3u);
+  EXPECT_EQ(lsu[0].label, "LSAck");  // most frequent first
+  EXPECT_EQ(lsu[0].count, 6u);
+  EXPECT_DOUBLE_EQ(lsu[0].fraction, 0.6);
+  EXPECT_EQ(lsu[1].label, "LSU");
+  EXPECT_DOUBLE_EQ(lsu[1].fraction, 0.3);
+  EXPECT_EQ(lsu[2].label, "Hello");
+  EXPECT_DOUBLE_EQ(lsu[2].fraction, 0.1);
+}
+
+TEST(ResponseProfile, DirectionsAreIndependent) {
+  RelationSet set;
+  set.add(kSR, {"A", "B"}, SimTime{0s}, 0, 0);
+  set.add(kRS, {"C", "D"}, SimTime{0s}, 0, 0);
+  EXPECT_EQ(response_profile(set, kSR).by_stimulus.count("C"), 0u);
+  EXPECT_EQ(response_profile(set, kRS).by_stimulus.count("A"), 0u);
+}
+
+TEST(ResponseProfile, EmptySetYieldsEmptyProfile) {
+  RelationSet set;
+  EXPECT_TRUE(response_profile(set, kSR).by_stimulus.empty());
+}
+
+TEST(RelationCell, OrderingIsLexicographic) {
+  EXPECT_LT((RelationCell{"A", "B"}), (RelationCell{"A", "C"}));
+  EXPECT_LT((RelationCell{"A", "Z"}), (RelationCell{"B", "A"}));
+}
+
+}  // namespace
+}  // namespace nidkit::mining

@@ -1,0 +1,140 @@
+#include "netsim/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit::netsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct ChaosFixture : ::testing::Test {
+  Simulator sim;
+  Network net{sim, 1};
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  NodeId c = net.add_node("c");
+  SegmentId ab = net.add_p2p(a, b);
+  SegmentId bc = net.add_p2p(b, c);
+  ChaosController chaos{net};
+};
+
+TEST_F(ChaosFixture, SetDelayAllHitsEverySegment) {
+  chaos.set_delay_all(900ms);
+  EXPECT_EQ(net.fault(ab).delay, SimDuration{900ms});
+  EXPECT_EQ(net.fault(bc).delay, SimDuration{900ms});
+}
+
+TEST_F(ChaosFixture, PerSegmentDelayAndJitter) {
+  chaos.set_delay(ab, 100ms, 20ms);
+  EXPECT_EQ(net.fault(ab).delay, SimDuration{100ms});
+  EXPECT_EQ(net.fault(ab).jitter, SimDuration{20ms});
+  EXPECT_EQ(net.fault(bc).delay, SimDuration{0ms});
+}
+
+TEST_F(ChaosFixture, LossDuplicateReorderKnobs) {
+  chaos.set_loss(ab, 0.25);
+  chaos.set_duplicate(ab, 0.5);
+  chaos.set_reorder(ab, 0.75, 40ms);
+  EXPECT_DOUBLE_EQ(net.fault(ab).loss, 0.25);
+  EXPECT_DOUBLE_EQ(net.fault(ab).duplicate, 0.5);
+  EXPECT_DOUBLE_EQ(net.fault(ab).reorder, 0.75);
+  EXPECT_EQ(net.fault(ab).reorder_extra, SimDuration{40ms});
+}
+
+TEST_F(ChaosFixture, CutAndRestore) {
+  chaos.cut(ab);
+  EXPECT_TRUE(net.fault(ab).down);
+  chaos.restore(ab);
+  EXPECT_FALSE(net.fault(ab).down);
+}
+
+TEST_F(ChaosFixture, ScheduledWindowAppliesAndReverts) {
+  chaos.set_delay(ab, 10ms);
+  FaultModel storm;
+  storm.delay = 500ms;
+  storm.loss = 0.9;
+  chaos.schedule_window(ab, SimTime{1s}, 2s, storm);
+
+  sim.run_until(SimTime{500ms});
+  EXPECT_EQ(net.fault(ab).delay, SimDuration{10ms});
+
+  sim.run_until(SimTime{1500ms});
+  EXPECT_EQ(net.fault(ab).delay, SimDuration{500ms});
+  EXPECT_DOUBLE_EQ(net.fault(ab).loss, 0.9);
+
+  sim.run_until(SimTime{3500ms});
+  EXPECT_EQ(net.fault(ab).delay, SimDuration{10ms});
+  EXPECT_DOUBLE_EQ(net.fault(ab).loss, 0.0);
+}
+
+TEST_F(ChaosFixture, WindowedCutDisruptsDelivery) {
+  FaultModel cut_model;
+  cut_model.down = true;
+  chaos.schedule_window(ab, SimTime{10ms}, 100ms, cut_model);
+  int got = 0;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) { ++got; });
+
+  auto send = [&] {
+    Frame f;
+    f.dst = kAllSpfRouters;
+    f.protocol = 89;
+    f.payload = {1};
+    net.send(a, 0, std::move(f));
+  };
+  sim.schedule(5ms, send);    // before the window: delivered
+  sim.schedule(50ms, send);   // inside: dropped
+  sim.schedule(200ms, send);  // after: delivered
+  sim.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(ChaosFixture, FifoSurvivesMidRunDelayChange) {
+  // An in-flight frame delayed 500 ms must not be overtaken by a frame
+  // sent later under a reduced 10 ms delay when the link is FIFO.
+  net.fault(ab).fifo = true;
+  chaos.set_delay(ab, 500ms);
+  std::vector<std::uint8_t> order;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
+    order.push_back(f.payload[0]);
+  });
+  auto send = [&](std::uint8_t tag) {
+    Frame f;
+    f.dst = kAllSpfRouters;
+    f.protocol = 89;
+    f.payload = {tag};
+    net.send(a, 0, std::move(f));
+  };
+  send(1);
+  sim.schedule(100ms, [&] {
+    chaos.set_delay(ab, 10ms);
+    send(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST_F(ChaosFixture, NonFifoAllowsOvertakingAfterDelayDrop) {
+  chaos.set_delay(ab, 500ms);
+  std::vector<std::uint8_t> order;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
+    order.push_back(f.payload[0]);
+  });
+  auto send = [&](std::uint8_t tag) {
+    Frame f;
+    f.dst = kAllSpfRouters;
+    f.protocol = 89;
+    f.payload = {tag};
+    net.send(a, 0, std::move(f));
+  };
+  send(1);
+  sim.schedule(100ms, [&] {
+    chaos.set_delay(ab, 10ms);
+    send(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{2, 1}))
+      << "plain IP links deliver per-frame: the fast frame wins";
+}
+
+}  // namespace
+}  // namespace nidkit::netsim

@@ -1,0 +1,341 @@
+#include "netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace nidkit::netsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+Frame make_frame(Ipv4Addr dst, std::uint8_t first_byte = 0xaa) {
+  Frame f;
+  f.dst = dst;
+  f.protocol = 89;
+  f.payload = {first_byte, 2, 3};
+  return f;
+}
+
+struct NetFixture : ::testing::Test {
+  Simulator sim;
+  Network net{sim, 1234};
+};
+
+TEST_F(NetFixture, P2pDeliversToPeer) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_p2p(a, b);
+  std::vector<std::uint8_t> got;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
+    got = f.payload;
+  });
+  net.send(a, 0, make_frame(kAllSpfRouters, 0x42));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 0x42);
+}
+
+TEST_F(NetFixture, SenderDoesNotReceiveOwnFrame) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_p2p(a, b);
+  int a_got = 0;
+  net.set_receive_handler(a, [&](IfaceIndex, const Frame&) { ++a_got; });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_EQ(a_got, 0);
+}
+
+TEST_F(NetFixture, DelayAppliedToDelivery) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).delay = 900ms;
+  SimTime arrival{-1};
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) {
+    arrival = sim.now();
+  });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_EQ(arrival, SimTime{900ms});
+}
+
+TEST_F(NetFixture, JitterAddsBoundedExtraDelay) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).delay = 100ms;
+  net.fault(seg).jitter = 50ms;
+  std::vector<SimTime> arrivals;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) {
+    arrivals.push_back(sim.now());
+  });
+  for (int i = 0; i < 50; ++i) net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (const auto t : arrivals) {
+    EXPECT_GE(t, SimTime{100ms});
+    EXPECT_LE(t, SimTime{150ms});
+  }
+}
+
+TEST_F(NetFixture, UnicastDeliversOnlyToAddressee) {
+  std::vector<NodeId> nodes = {net.add_node("a"), net.add_node("b"),
+                               net.add_node("c")};
+  net.add_lan(nodes);
+  int b_got = 0, c_got = 0;
+  net.set_receive_handler(nodes[1], [&](IfaceIndex, const Frame&) { ++b_got; });
+  net.set_receive_handler(nodes[2], [&](IfaceIndex, const Frame&) { ++c_got; });
+  const Ipv4Addr b_addr = net.iface(nodes[1], 0).address;
+  net.send(nodes[0], 0, make_frame(b_addr));
+  sim.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+}
+
+TEST_F(NetFixture, MulticastDeliversToAllOthersOnLan) {
+  std::vector<NodeId> nodes = {net.add_node("a"), net.add_node("b"),
+                               net.add_node("c"), net.add_node("d")};
+  net.add_lan(nodes);
+  int got = 0;
+  for (std::size_t i = 1; i < nodes.size(); ++i)
+    net.set_receive_handler(nodes[i], [&](IfaceIndex, const Frame&) { ++got; });
+  net.send(nodes[0], 0, make_frame(kAllDRouters));
+  sim.run();
+  EXPECT_EQ(got, 3);
+}
+
+TEST_F(NetFixture, LossDropsFrames) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).loss = 0.5;
+  int got = 0;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) { ++got; });
+  for (int i = 0; i < 500; ++i) net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_GT(got, 150);
+  EXPECT_LT(got, 350);
+  EXPECT_EQ(net.frames_dropped() + net.frames_delivered(), 500u);
+}
+
+TEST_F(NetFixture, DownSegmentDropsEverything) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).down = true;
+  int got = 0;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) { ++got; });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.frames_dropped(), 1u);
+}
+
+TEST_F(NetFixture, DuplicationDeliversTwice) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).duplicate = 1.0;
+  int got = 0;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) { ++got; });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(NetFixture, ReorderDelaysSomeFrames) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).delay = 10ms;
+  net.fault(seg).reorder = 1.0;
+  net.fault(seg).reorder_extra = 100ms;
+  SimTime arrival{0};
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) {
+    arrival = sim.now();
+  });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_EQ(arrival, SimTime{110ms});
+}
+
+TEST_F(NetFixture, BandwidthSerializesBackToBackFrames) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).bytes_per_sec = 3000;  // 3-byte frame => 1 ms each
+  std::vector<SimTime> arrivals;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame&) {
+    arrivals.push_back(sim.now());
+  });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], SimTime{1ms});
+  EXPECT_EQ(arrivals[1], SimTime{2ms});
+}
+
+TEST_F(NetFixture, FrameIdsAreUniqueAndMonotonic) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_p2p(a, b);
+  std::vector<std::uint64_t> ids;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
+    ids.push_back(f.id);
+  });
+  for (int i = 0; i < 3; ++i) net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_LT(ids[0], ids[1]);
+  EXPECT_LT(ids[1], ids[2]);
+  EXPECT_NE(ids[0], 0u);
+}
+
+TEST_F(NetFixture, TapSeesSendAndReceive) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_p2p(a, b);
+  std::vector<std::pair<NodeId, Direction>> taps;
+  net.set_tap([&](const TapEvent& ev) {
+    taps.emplace_back(ev.node, ev.direction);
+  });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  ASSERT_EQ(taps.size(), 2u);
+  EXPECT_EQ(taps[0], std::make_pair(a, Direction::kSend));
+  EXPECT_EQ(taps[1], std::make_pair(b, Direction::kRecv));
+}
+
+TEST_F(NetFixture, TapSeesFramesEvenWhenNoHandlerInstalled) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_p2p(a, b);
+  int taps = 0;
+  net.set_tap([&](const TapEvent&) { ++taps; });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_EQ(taps, 2);
+}
+
+TEST_F(NetFixture, SourceAddressDefaultsToInterface) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_p2p(a, b);
+  Ipv4Addr seen_src;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
+    seen_src = f.src;
+  });
+  net.send(a, 0, make_frame(kAllSpfRouters));
+  sim.run();
+  EXPECT_EQ(seen_src, net.iface(a, 0).address);
+}
+
+TEST_F(NetFixture, P2pAddressesShareSlash30) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  const auto ia = net.iface(a, 0);
+  const auto ib = net.iface(b, 0);
+  EXPECT_EQ(ia.prefix_len, 30);
+  EXPECT_EQ(ia.address.value() & ~3u, ib.address.value() & ~3u);
+  EXPECT_NE(ia.address, ib.address);
+  EXPECT_FALSE(net.segment_is_lan(seg));
+}
+
+TEST_F(NetFixture, DistinctSegmentsGetDistinctSubnets) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto c = net.add_node("c");
+  net.add_p2p(a, b);
+  net.add_p2p(b, c);
+  const auto ab = net.iface(a, 0).address.value() & ~3u;
+  const auto bc = net.iface(c, 0).address.value() & ~3u;
+  EXPECT_NE(ab, bc);
+}
+
+TEST_F(NetFixture, P2pPeerLookup) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  EXPECT_EQ(net.p2p_peer(seg, a), b);
+  EXPECT_EQ(net.p2p_peer(seg, b), a);
+}
+
+TEST_F(NetFixture, LanAttachmentsEnumerated) {
+  std::vector<NodeId> nodes = {net.add_node("a"), net.add_node("b"),
+                               net.add_node("c")};
+  const auto seg = net.add_lan(nodes);
+  EXPECT_TRUE(net.segment_is_lan(seg));
+  EXPECT_EQ(net.attachments(seg).size(), 3u);
+  EXPECT_EQ(net.p2p_peer(seg, nodes[0]), kInvalidNode);
+}
+
+TEST_F(NetFixture, SelfLinkRejected) {
+  const auto a = net.add_node("a");
+  EXPECT_THROW(net.add_p2p(a, a), std::invalid_argument);
+}
+
+TEST_F(NetFixture, TinyLanRejected) {
+  const auto a = net.add_node("a");
+  const NodeId members[] = {a};
+  EXPECT_THROW(net.add_lan(members), std::invalid_argument);
+}
+
+TEST_F(NetFixture, JitterCanReorderByDefault) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).delay = 10ms;
+  net.fault(seg).jitter = 200ms;
+  std::vector<std::uint8_t> arrivals;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
+    arrivals.push_back(f.payload[0]);
+  });
+  for (std::uint8_t i = 0; i < 100; ++i)
+    net.send(a, 0, make_frame(kAllSpfRouters, i));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 100u);
+  EXPECT_FALSE(std::is_sorted(arrivals.begin(), arrivals.end()))
+      << "plain IP links under jitter must be able to reorder";
+}
+
+TEST_F(NetFixture, FifoModePreservesOrderUnderJitter) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto seg = net.add_p2p(a, b);
+  net.fault(seg).delay = 10ms;
+  net.fault(seg).jitter = 200ms;
+  net.fault(seg).fifo = true;
+  std::vector<std::uint8_t> arrivals;
+  net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
+    arrivals.push_back(f.payload[0]);
+  });
+  for (std::uint8_t i = 0; i < 100; ++i)
+    net.send(a, 0, make_frame(kAllSpfRouters, i));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()))
+      << "fifo links model an ordered transport";
+}
+
+TEST_F(NetFixture, CausedByPropagatesToTap) {
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_p2p(a, b);
+  std::uint64_t seen = 0;
+  net.set_tap([&](const TapEvent& ev) {
+    if (ev.direction == Direction::kRecv) seen = ev.frame->caused_by;
+  });
+  Frame f = make_frame(kAllSpfRouters);
+  f.caused_by = 777;
+  net.send(a, 0, std::move(f));
+  sim.run();
+  EXPECT_EQ(seen, 777u);
+}
+
+}  // namespace
+}  // namespace nidkit::netsim

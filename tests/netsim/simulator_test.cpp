@@ -1,0 +1,142 @@
+#include "netsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nidkit::netsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kSimStart);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30ms, [&] { order.push_back(3); });
+  sim.schedule(10ms, [&] { order.push_back(1); });
+  sim.schedule(20ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SimultaneousEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule(10ms, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen{-1};
+  sim.schedule(250ms, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime{250ms});
+  EXPECT_EQ(sim.now(), SimTime{250ms});
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.schedule(10ms, [&] { ran = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int runs = 0;
+  auto h = sim.schedule(1ms, [&] { ++runs; });
+  sim.run();
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  TimerHandle h;
+  EXPECT_FALSE(h.valid());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(1ms, recurse);
+  };
+  sim.schedule(1ms, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime{5ms});
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(10ms, [&] { ++ran; });
+  sim.schedule(30ms, [&] { ++ran; });
+  sim.run_until(SimTime{20ms});
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), SimTime{20ms});
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(SimTime{1s});
+  EXPECT_EQ(sim.now(), SimTime{1s});
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(20ms, [&] { ran = true; });
+  sim.run_until(SimTime{20ms});
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StepReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.schedule(1ms, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StepSkipsCancelledEvents) {
+  Simulator sim;
+  bool second = false;
+  auto h = sim.schedule(1ms, [] {});
+  sim.schedule(2ms, [&] { second = true; });
+  h.cancel();
+  EXPECT_TRUE(sim.step());  // skips cancelled, runs the live one
+  EXPECT_TRUE(second);
+}
+
+TEST(Simulator, ExecutedCounterCountsLiveEventsOnly) {
+  Simulator sim;
+  auto h = sim.schedule(1ms, [] {});
+  sim.schedule(2ms, [] {});
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen{0};
+  sim.schedule_at(SimTime{77ms}, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime{77ms});
+}
+
+}  // namespace
+}  // namespace nidkit::netsim

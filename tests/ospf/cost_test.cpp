@@ -1,0 +1,130 @@
+// Interface-cost configuration tests: SPF must honor per-interface output
+// costs, and traffic engineering via costs must steer paths.
+#include <gtest/gtest.h>
+
+#include "ospf_test_util.hpp"
+
+namespace nidkit::ospf {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::Rig;
+
+TEST(Cost, DefaultCostAppliedToAllLinks) {
+  Rig rig;
+  rig.add_nodes(2);
+  rig.net.add_p2p(rig.nodes[0], rig.nodes[1]);
+  rig.net.fault(0).delay = 50ms;
+  for (std::size_t i = 0; i < 2; ++i) {
+    RouterConfig cfg;
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    cfg.router_id = RouterId{b, b, b, b};
+    cfg.profile = frr_profile();
+    cfg.default_cost = 7;
+    rig.routers.push_back(
+        std::make_unique<Router>(rig.net, rig.nodes[i], cfg, 1 + i));
+  }
+  rig.start_all();
+  rig.run_for(60s);
+  const auto routes = rig.r(0).routes();
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].cost, 7u);
+}
+
+TEST(Cost, PerInterfaceOverrideSteersTraffic) {
+  // Square: r0-r1-r3 and r0-r2-r3. Make r0's interface toward r1
+  // expensive; r0 must reach r3 via r2.
+  Rig rig;
+  rig.add_nodes(4);
+  const auto s01 = rig.net.add_p2p(rig.nodes[0], rig.nodes[1]);
+  const auto s02 = rig.net.add_p2p(rig.nodes[0], rig.nodes[2]);
+  const auto s13 = rig.net.add_p2p(rig.nodes[1], rig.nodes[3]);
+  const auto s23 = rig.net.add_p2p(rig.nodes[2], rig.nodes[3]);
+  for (const auto s : {s01, s02, s13, s23}) rig.net.fault(s).delay = 50ms;
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    RouterConfig cfg;
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    cfg.router_id = RouterId{b, b, b, b};
+    cfg.profile = frr_profile();
+    if (i == 0) cfg.interface_costs[0] = 50;  // r0's first iface -> r1
+    rig.routers.push_back(
+        std::make_unique<Router>(rig.net, rig.nodes[i], cfg, 10 + i));
+  }
+  rig.start_all();
+  rig.run_for(120s);
+
+  // r0's route to the r2-r3 subnet must go via r2 at cost 2, and to the
+  // r1-r3 subnet via r2+r3 (cost 3) rather than via the expensive r1 link.
+  for (const auto& route : rig.r(0).routes()) {
+    EXPECT_NE(route.via, rig.id(1))
+        << "no route may take the expensive first hop: "
+        << route.prefix.to_string() << " cost=" << route.cost;
+  }
+}
+
+TEST(Cost, AsymmetricCostsGiveAsymmetricDistances) {
+  // r0 -> r1 costs 10 from r0's side, 1 from r1's side.
+  Rig rig;
+  rig.add_nodes(3);
+  const auto s01 = rig.net.add_p2p(rig.nodes[0], rig.nodes[1]);
+  const auto s12 = rig.net.add_p2p(rig.nodes[1], rig.nodes[2]);
+  for (const auto s : {s01, s12}) rig.net.fault(s).delay = 50ms;
+  for (std::size_t i = 0; i < 3; ++i) {
+    RouterConfig cfg;
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    cfg.router_id = RouterId{b, b, b, b};
+    cfg.profile = frr_profile();
+    if (i == 0) cfg.interface_costs[0] = 10;
+    rig.routers.push_back(
+        std::make_unique<Router>(rig.net, rig.nodes[i], cfg, 20 + i));
+  }
+  rig.start_all();
+  rig.run_for(90s);
+
+  auto cost_to_far_subnet = [&](Router& r) -> std::uint32_t {
+    std::uint32_t best = 0;
+    for (const auto& route : r.routes()) best = std::max(best, route.cost);
+    return best;
+  };
+  // r0's farthest destination costs 10 (its expensive link) + 1.
+  EXPECT_EQ(cost_to_far_subnet(rig.r(0)), 11u);
+  // r2's farthest costs 1 + 1 (r1's side of the r0 link is cheap).
+  EXPECT_EQ(cost_to_far_subnet(rig.r(2)), 2u);
+}
+
+TEST(Cost, CostChangePropagatesInLsa) {
+  Rig rig;
+  rig.add_nodes(2);
+  rig.net.add_p2p(rig.nodes[0], rig.nodes[1]);
+  rig.net.fault(0).delay = 50ms;
+  RouterConfig cfg0;
+  cfg0.router_id = RouterId{1, 1, 1, 1};
+  cfg0.profile = frr_profile();
+  cfg0.interface_costs[0] = 42;
+  rig.routers.push_back(
+      std::make_unique<Router>(rig.net, rig.nodes[0], cfg0, 1));
+  RouterConfig cfg1;
+  cfg1.router_id = RouterId{2, 2, 2, 2};
+  cfg1.profile = frr_profile();
+  rig.routers.push_back(
+      std::make_unique<Router>(rig.net, rig.nodes[1], cfg1, 2));
+  rig.start_all();
+  rig.run_for(60s);
+
+  // r1's copy of r0's router-LSA carries metric 42.
+  const LsaKey key{LsaType::kRouter, Ipv4Addr{rig.id(0).value()}, rig.id(0)};
+  const auto* entry = rig.r(1).lsdb().find(key);
+  ASSERT_NE(entry, nullptr);
+  const auto& body = std::get<RouterLsaBody>(entry->lsa.body);
+  bool found = false;
+  for (const auto& link : body.links)
+    if (link.type == RouterLinkType::kPointToPoint) {
+      EXPECT_EQ(link.metric, 42u);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

@@ -1,0 +1,98 @@
+// Equal-cost multipath tests: SPF must report every tied next hop.
+#include <gtest/gtest.h>
+
+#include "ospf_test_util.hpp"
+
+namespace nidkit::ospf {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::Rig;
+
+const Route* route_to(Router& r, Ipv4Addr prefix,
+                      std::vector<Route>& storage) {
+  storage = r.routes();
+  for (const auto& route : storage)
+    if (route.prefix == prefix) return &route;
+  return nullptr;
+}
+
+TEST(Ecmp, SquareTopologyReportsBothNextHops) {
+  // r0-r1-r3 / r0-r2-r3 with unit costs: r0 reaches the far r1-r3 and
+  // r2-r3 subnets... the truly symmetric destination is r3's external.
+  Rig rig;
+  rig.add_nodes(4);
+  const auto s01 = rig.net.add_p2p(rig.nodes[0], rig.nodes[1]);
+  const auto s02 = rig.net.add_p2p(rig.nodes[0], rig.nodes[2]);
+  const auto s13 = rig.net.add_p2p(rig.nodes[1], rig.nodes[3]);
+  const auto s23 = rig.net.add_p2p(rig.nodes[2], rig.nodes[3]);
+  for (const auto s : {s01, s02, s13, s23}) rig.net.fault(s).delay = 50ms;
+  rig.make_routers(frr_profile());
+  rig.start_all();
+  rig.run_for(120s);
+  rig.r(3).originate_external(Ipv4Addr{198, 51, 100, 0},
+                              Ipv4Addr{255, 255, 255, 0}, 10);
+  rig.run_for(30s);
+
+  std::vector<Route> storage;
+  const auto* route = route_to(rig.r(0), Ipv4Addr{198, 51, 100, 0}, storage);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->cost, 2u + 10u);
+  ASSERT_EQ(route->next_hops.size(), 2u) << "both r1 and r2 are tied";
+  EXPECT_EQ(route->next_hops[0], rig.id(1));
+  EXPECT_EQ(route->next_hops[1], rig.id(2));
+  EXPECT_EQ(route->via, rig.id(1));  // primary = lowest id
+}
+
+TEST(Ecmp, UnequalCostsCollapseToSinglePath) {
+  Rig rig;
+  rig.add_nodes(4);
+  const auto s01 = rig.net.add_p2p(rig.nodes[0], rig.nodes[1]);
+  const auto s02 = rig.net.add_p2p(rig.nodes[0], rig.nodes[2]);
+  const auto s13 = rig.net.add_p2p(rig.nodes[1], rig.nodes[3]);
+  const auto s23 = rig.net.add_p2p(rig.nodes[2], rig.nodes[3]);
+  for (const auto s : {s01, s02, s13, s23}) rig.net.fault(s).delay = 50ms;
+  for (std::size_t i = 0; i < 4; ++i) {
+    RouterConfig cfg;
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    cfg.router_id = RouterId{b, b, b, b};
+    cfg.profile = frr_profile();
+    if (i == 0) cfg.interface_costs[0] = 2;  // tilt toward r2
+    rig.routers.push_back(
+        std::make_unique<Router>(rig.net, rig.nodes[i], cfg, 30 + i));
+  }
+  rig.start_all();
+  rig.run_for(120s);
+  rig.r(3).originate_external(Ipv4Addr{198, 51, 101, 0},
+                              Ipv4Addr{255, 255, 255, 0}, 10);
+  rig.run_for(30s);
+
+  std::vector<Route> storage;
+  const auto* route = route_to(rig.r(0), Ipv4Addr{198, 51, 101, 0}, storage);
+  ASSERT_NE(route, nullptr);
+  ASSERT_EQ(route->next_hops.size(), 1u);
+  EXPECT_EQ(route->next_hops[0], rig.id(2));
+}
+
+TEST(Ecmp, DirectlyAttachedRoutesHaveNoNextHops) {
+  Rig rig;
+  testutil::init_two(rig, frr_profile());
+  rig.start_all();
+  rig.run_for(60s);
+  for (const auto& route : rig.r(0).routes()) {
+    EXPECT_TRUE(route.next_hops.empty());
+    EXPECT_TRUE(route.via.is_zero());
+  }
+}
+
+TEST(Ecmp, LinearTopologyAlwaysSinglePath) {
+  Rig rig;
+  testutil::init_line(rig, 4, frr_profile());
+  rig.start_all();
+  rig.run_for(120s);
+  for (const auto& route : rig.r(0).routes())
+    EXPECT_LE(route.next_hops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

@@ -1,0 +1,123 @@
+// Designated-router election (§9.4) on broadcast LANs.
+#include <gtest/gtest.h>
+
+#include "ospf_test_util.hpp"
+
+namespace nidkit::ospf {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::Rig;
+
+const OspfInterface& lan_iface(Rig& rig, std::size_t i) {
+  return rig.r(i).interfaces()[0];
+}
+
+TEST(Election, HighestIdWinsDrWithEqualPriorities) {
+  Rig rig;
+  testutil::init_lan(rig, 3, frr_profile());
+  rig.start_all();
+  rig.run_for(120s);  // wait timer (40 s) + exchange
+  // Router ids 1.1.1.1 < 2.2.2.2 < 3.3.3.3: r2 is DR, r1 is BDR.
+  EXPECT_EQ(lan_iface(rig, 2).state, InterfaceState::kDr);
+  EXPECT_EQ(lan_iface(rig, 1).state, InterfaceState::kBackup);
+  EXPECT_EQ(lan_iface(rig, 0).state, InterfaceState::kDrOther);
+}
+
+TEST(Election, AllRoutersAgreeOnDrAndBdr) {
+  Rig rig;
+  testutil::init_lan(rig, 4, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  const auto dr = lan_iface(rig, 0).dr;
+  const auto bdr = lan_iface(rig, 0).bdr;
+  EXPECT_FALSE(dr.is_zero());
+  EXPECT_FALSE(bdr.is_zero());
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(lan_iface(rig, i).dr, dr) << "router " << i;
+    EXPECT_EQ(lan_iface(rig, i).bdr, bdr) << "router " << i;
+  }
+}
+
+TEST(Election, PriorityBeatsRouterId) {
+  Rig rig;
+  rig.add_nodes(3);
+  const auto seg = rig.net.add_lan(rig.nodes);
+  rig.net.fault(seg).delay = 50ms;
+  for (std::size_t i = 0; i < 3; ++i) {
+    RouterConfig cfg;
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    cfg.router_id = RouterId{b, b, b, b};
+    cfg.profile = frr_profile();
+    cfg.priority = (i == 0) ? 200 : 1;  // lowest id, highest priority
+    rig.routers.push_back(
+        std::make_unique<Router>(rig.net, rig.nodes[i], cfg, 10 + i));
+  }
+  rig.start_all();
+  rig.run_for(120s);
+  EXPECT_EQ(lan_iface(rig, 0).state, InterfaceState::kDr);
+}
+
+TEST(Election, DrOtherPairsStayTwoWay) {
+  Rig rig;
+  testutil::init_lan(rig, 4, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  // r0 and r1 are DROther (ids 3,4 win); they must sit at 2-Way with each
+  // other (§10.4) and Full with DR and BDR.
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kTwoWay);
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(2)), NeighborState::kFull);
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(3)), NeighborState::kFull);
+}
+
+TEST(Election, DrOriginatesNetworkLsa) {
+  Rig rig;
+  testutil::init_lan(rig, 3, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  const auto dr_addr = lan_iface(rig, 2).address;
+  const LsaKey key{LsaType::kNetwork, dr_addr, rig.id(2)};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto* e = rig.r(i).lsdb().find(key);
+    ASSERT_NE(e, nullptr) << "router " << i << " lacks the network-LSA";
+    const auto& body = std::get<NetworkLsaBody>(e->lsa.body);
+    EXPECT_EQ(body.attached_routers.size(), 3u);
+  }
+}
+
+TEST(Election, BdrPromotedWhenDrDies) {
+  Rig rig;
+  testutil::init_lan(rig, 3, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  ASSERT_EQ(lan_iface(rig, 2).state, InterfaceState::kDr);
+  rig.r(2).stop();
+  rig.run_for(120s);  // dead interval + re-election + new exchange
+  EXPECT_EQ(lan_iface(rig, 1).state, InterfaceState::kDr);
+  EXPECT_EQ(lan_iface(rig, 0).state, InterfaceState::kBackup);
+}
+
+TEST(Election, LanAdjacenciesFollowNewDr) {
+  Rig rig;
+  testutil::init_lan(rig, 4, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  rig.r(3).stop();  // DR (highest id) dies
+  rig.run_for(150s);
+  // New DR = r2, new BDR = r1; r0 must be Full with both.
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(2)), NeighborState::kFull);
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kFull);
+}
+
+TEST(Election, TwoRouterLanElectsDrAndBdr) {
+  Rig rig;
+  testutil::init_lan(rig, 2, frr_profile());
+  rig.start_all();
+  rig.run_for(120s);
+  EXPECT_EQ(lan_iface(rig, 1).state, InterfaceState::kDr);
+  EXPECT_EQ(lan_iface(rig, 0).state, InterfaceState::kBackup);
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kFull);
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

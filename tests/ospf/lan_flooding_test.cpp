@@ -1,0 +1,112 @@
+// LAN flooding scoping (§13.3 on broadcast networks): DRothers flood
+// toward the DR/BDR on 224.0.0.6; the DR refloods to everyone on
+// 224.0.0.5; the BDR stays quiet unless the DR fails.
+#include <gtest/gtest.h>
+
+#include "ospf_test_util.hpp"
+
+namespace nidkit::ospf {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::Rig;
+
+struct LsuObserver {
+  explicit LsuObserver(Rig& rig) {
+    rig.net.set_tap([this](const netsim::TapEvent& ev) {
+      if (ev.direction != netsim::Direction::kSend) return;
+      auto d = decode(ev.frame->payload);
+      if (!d.ok()) return;
+      if (d.value().header.type != PacketType::kLsUpdate) return;
+      sends.push_back({ev.node, ev.frame->dst});
+    });
+  }
+  struct Send {
+    netsim::NodeId node;
+    Ipv4Addr dst;
+  };
+  std::vector<Send> sends;
+};
+
+TEST(LanFlooding, DrOtherFloodsToAllDRouters) {
+  // 4-router LAN: ids 1..4, DR = r3 (4.4.4.4), BDR = r2 (3.3.3.3),
+  // DROthers = r0, r1. An external originated at DROther r0 must go out
+  // to 224.0.0.6 and be refloodeded by the DR to 224.0.0.5.
+  Rig rig;
+  testutil::init_lan(rig, 4, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  ASSERT_EQ(rig.r(3).interfaces()[0].state, InterfaceState::kDr);
+  ASSERT_EQ(rig.r(0).interfaces()[0].state, InterfaceState::kDrOther);
+
+  LsuObserver obs(rig);
+  rig.r(0).originate_external(Ipv4Addr{192, 168, 42, 0},
+                              Ipv4Addr{255, 255, 255, 0}, 1);
+  rig.run_for(20s);
+
+  bool drother_to_alld = false;
+  bool dr_to_allspf = false;
+  bool bdr_flooded = false;
+  for (const auto& s : obs.sends) {
+    if (s.node == rig.nodes[0] && s.dst == kAllDRouters)
+      drother_to_alld = true;
+    if (s.node == rig.nodes[3] && s.dst == kAllSpfRouters)
+      dr_to_allspf = true;
+    if (s.node == rig.nodes[2] && s.dst == kAllSpfRouters)
+      bdr_flooded = true;
+  }
+  EXPECT_TRUE(drother_to_alld)
+      << "the DROther must scope its flood to the (B)DR group";
+  EXPECT_TRUE(dr_to_allspf) << "the DR must reflood to all routers";
+  EXPECT_FALSE(bdr_flooded) << "the BDR defers to the DR";
+}
+
+TEST(LanFlooding, AllRoutersLearnTheLsa) {
+  Rig rig;
+  testutil::init_lan(rig, 4, bird_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  rig.r(1).originate_external(Ipv4Addr{192, 168, 43, 0},
+                              Ipv4Addr{255, 255, 255, 0}, 2);
+  rig.run_for(20s);
+  const LsaKey key{LsaType::kExternal, Ipv4Addr{192, 168, 43, 0},
+                   rig.id(1)};
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NE(rig.r(i).lsdb().find(key), nullptr) << "router " << i;
+}
+
+TEST(LanFlooding, DrOtherToDrOtherTrafficGoesThroughDr) {
+  // r0's LSA must reach r1 (another DROther) even though they are not
+  // adjacent — the DR relays.
+  Rig rig;
+  testutil::init_lan(rig, 4, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  ASSERT_EQ(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kTwoWay);
+  rig.r(0).originate_external(Ipv4Addr{192, 168, 44, 0},
+                              Ipv4Addr{255, 255, 255, 0}, 3);
+  rig.run_for(20s);
+  const LsaKey key{LsaType::kExternal, Ipv4Addr{192, 168, 44, 0},
+                   rig.id(0)};
+  EXPECT_NE(rig.r(1).lsdb().find(key), nullptr);
+}
+
+TEST(LanFlooding, NonDrRoutersIgnoreAllDRoutersTraffic) {
+  // Frames to 224.0.0.6 reach every NIC (and the capture), but DROthers
+  // must not act on them: r1 (DROther) never acks or refloods r0's
+  // AllDRouters-scoped LSU.
+  Rig rig;
+  testutil::init_lan(rig, 4, frr_profile());
+  rig.start_all();
+  rig.run_for(150s);
+  LsuObserver obs(rig);
+  rig.r(0).originate_external(Ipv4Addr{192, 168, 45, 0},
+                              Ipv4Addr{255, 255, 255, 0}, 4);
+  rig.run_for(3s);  // before the DR's reflood reaches steady state
+  for (const auto& s : obs.sends)
+    EXPECT_NE(s.node, rig.nodes[1])
+        << "a DROther reflooded traffic it should have ignored";
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

@@ -1,0 +1,115 @@
+#include "ospf/lsdb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit::ospf {
+namespace {
+
+using namespace std::chrono_literals;
+
+Lsa make_lsa(std::uint32_t adv, std::int32_t seq, std::uint16_t age = 0) {
+  Lsa lsa;
+  lsa.header.type = LsaType::kRouter;
+  lsa.header.link_state_id = Ipv4Addr{adv};
+  lsa.header.advertising_router = RouterId{adv};
+  lsa.header.seq = seq;
+  lsa.header.age = age;
+  lsa.body = RouterLsaBody{};
+  lsa.finalize();
+  lsa.header.age = age;  // finalize zeroes nothing, but be explicit
+  return lsa;
+}
+
+TEST(Lsdb, InstallAndFind) {
+  Lsdb db;
+  EXPECT_EQ(db.install(make_lsa(1, 5), SimTime{0}), std::nullopt);
+  const auto* e = db.find(LsaKey{LsaType::kRouter, Ipv4Addr{1}, RouterId{1}});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->lsa.header.seq, 5);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Lsdb, ReinstallReturnsPreviousHeader) {
+  Lsdb db;
+  db.install(make_lsa(1, 5), SimTime{0});
+  const auto prev = db.install(make_lsa(1, 6), SimTime{1s});
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(prev->seq, 5);
+  EXPECT_EQ(db.find(key_of(make_lsa(1, 6).header))->lsa.header.seq, 6);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Lsdb, DistinctKeysCoexist) {
+  Lsdb db;
+  db.install(make_lsa(1, 5), SimTime{0});
+  db.install(make_lsa(2, 5), SimTime{0});
+  Lsa net = make_lsa(1, 5);
+  net.header.type = LsaType::kNetwork;
+  net.body = NetworkLsaBody{};
+  net.finalize();
+  db.install(net, SimTime{0});
+  EXPECT_EQ(db.size(), 3u);
+}
+
+TEST(Lsdb, RemoveErases) {
+  Lsdb db;
+  db.install(make_lsa(1, 5), SimTime{0});
+  db.remove(LsaKey{LsaType::kRouter, Ipv4Addr{1}, RouterId{1}});
+  EXPECT_EQ(db.find(LsaKey{LsaType::kRouter, Ipv4Addr{1}, RouterId{1}}),
+            nullptr);
+}
+
+TEST(Lsdb, AgeAdvancesWithSimTime) {
+  Lsdb db;
+  db.install(make_lsa(1, 5, 7), SimTime{10s});
+  const auto* e = db.find(LsaKey{LsaType::kRouter, Ipv4Addr{1}, RouterId{1}});
+  EXPECT_EQ(db.age_at(*e, SimTime{10s}), 7);
+  EXPECT_EQ(db.age_at(*e, SimTime{25s}), 22);
+}
+
+TEST(Lsdb, AgeCapsAtMaxAge) {
+  Lsdb db;
+  db.install(make_lsa(1, 5, 3500), SimTime{0});
+  const auto* e = db.find(LsaKey{LsaType::kRouter, Ipv4Addr{1}, RouterId{1}});
+  EXPECT_EQ(db.age_at(*e, SimTime{1000s}), kMaxAgeSeconds);
+}
+
+TEST(Lsdb, SnapshotCarriesCurrentAge) {
+  Lsdb db;
+  db.install(make_lsa(1, 5, 0), SimTime{0});
+  const auto* e = db.find(LsaKey{LsaType::kRouter, Ipv4Addr{1}, RouterId{1}});
+  const Lsa snap = db.snapshot(*e, SimTime{42s});
+  EXPECT_EQ(snap.header.age, 42);
+  // The stored entry is untouched.
+  EXPECT_EQ(e->lsa.header.age, 0);
+}
+
+TEST(Lsdb, SummarizeListsAllWithUpdatedAges) {
+  Lsdb db;
+  db.install(make_lsa(1, 5), SimTime{0});
+  db.install(make_lsa(2, 9), SimTime{5s});
+  const auto headers = db.summarize(SimTime{10s});
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_EQ(headers[0].age, 10);
+  EXPECT_EQ(headers[1].age, 5);
+}
+
+TEST(Lsdb, ForEachVisitsEverything) {
+  Lsdb db;
+  db.install(make_lsa(1, 1), SimTime{0});
+  db.install(make_lsa(2, 1), SimTime{0});
+  int visits = 0;
+  db.for_each([&](const LsaKey&, const Lsdb::Entry&) { ++visits; });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(Lsdb, KeyOrderingIsDeterministic) {
+  const LsaKey a{LsaType::kRouter, Ipv4Addr{1}, RouterId{1}};
+  const LsaKey b{LsaType::kNetwork, Ipv4Addr{1}, RouterId{1}};
+  const LsaKey c{LsaType::kRouter, Ipv4Addr{2}, RouterId{1}};
+  EXPECT_LT(a, b);  // type dominates
+  EXPECT_LT(a, c);  // then link-state id
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

@@ -1,0 +1,93 @@
+// MTU-mismatch behaviour (§10.6): the classic real-world OSPF interop
+// failure. With the RFC-mandated check on both sides, mismatched MTUs
+// wedge the adjacency in ExStart; with `mtu-ignore` semantics the
+// adjacency forms anyway.
+#include <gtest/gtest.h>
+
+#include "mining/miner.hpp"
+#include "ospf_test_util.hpp"
+#include "trace/trace.hpp"
+
+namespace nidkit::ospf {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::Rig;
+
+void make_mismatched_pair(Rig& rig, bool check_mtu) {
+  rig.add_nodes(2);
+  rig.net.add_p2p(rig.nodes[0], rig.nodes[1]);
+  rig.net.fault(0).delay = 50ms;
+  for (std::size_t i = 0; i < 2; ++i) {
+    RouterConfig cfg;
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    cfg.router_id = RouterId{b, b, b, b};
+    cfg.profile = frr_profile();
+    cfg.profile.check_mtu = check_mtu;
+    cfg.mtu = (i == 0) ? 9000 : 1500;  // jumbo vs standard
+    rig.routers.push_back(
+        std::make_unique<Router>(rig.net, rig.nodes[i], cfg, 1 + i));
+  }
+}
+
+TEST(Mtu, MismatchWedgesAdjacencyInExStart) {
+  Rig rig;
+  make_mismatched_pair(rig, /*check_mtu=*/true);
+  rig.start_all();
+  rig.run_for(120s);
+  // The small-MTU side rejects the jumbo side's DBDs and never leaves
+  // ExStart; the jumbo side accepts the master's probes and wedges in
+  // Exchange — the classic asymmetric presentation (one side ExStart, one
+  // side Exchange, forever).
+  EXPECT_LT(rig.r(1).neighbor_state(rig.id(0)), NeighborState::kExchange);
+  EXPECT_LE(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kExchange);
+  EXPECT_LT(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kLoading);
+  // Hello-level bidirectionality is unaffected — the failure is subtle,
+  // which is why it bites in production.
+  EXPECT_GE(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kTwoWay);
+}
+
+TEST(Mtu, MtuIgnoreFormsAdjacencyDespiteMismatch) {
+  Rig rig;
+  make_mismatched_pair(rig, /*check_mtu=*/false);
+  rig.start_all();
+  rig.run_for(120s);
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kFull);
+  EXPECT_EQ(rig.r(1).neighbor_state(rig.id(0)), NeighborState::kFull);
+}
+
+TEST(Mtu, EqualMtusUnaffectedByCheck) {
+  Rig rig;
+  testutil::init_two(rig, frr_profile());  // both 1500, check on
+  rig.start_all();
+  rig.run_for(60s);
+  EXPECT_EQ(rig.r(0).neighbor_state(rig.id(1)), NeighborState::kFull);
+}
+
+TEST(Mtu, WedgeHasAMinableSignature) {
+  // The black-box symptom of the wedge: DBD(I,M,MS) negotiation probes
+  // answered only by more DBD(I,M,MS) probes — never by header-carrying
+  // exchange DBDs or LSUs. The dbd-flags key scheme makes this visible.
+  Rig rig;
+  make_mismatched_pair(rig, /*check_mtu=*/true);
+  trace::TraceLog log;
+  log.attach(rig.net);
+  rig.start_all();
+  rig.run_for(180s);
+
+  mining::CausalMiner miner(mining::MinerConfig{.tdelay = 50ms,
+                                                .window_factor = 2.0,
+                                                .horizon = 10s});
+  const auto set = miner.mine(log, mining::ospf_dbd_flags_scheme());
+  const auto dir = mining::RelationDirection::kSendToRecv;
+  EXPECT_TRUE(set.has(dir, "DBD(I,M,MS)", "DBD(I,M,MS)"))
+      << "the negotiation loop must be visible";
+  // And nothing past negotiation ever happens:
+  for (const auto& [cell, stats] : set.cells(dir)) {
+    EXPECT_EQ(cell.response.find("LSU"), std::string::npos)
+        << cell.stimulus << " -> " << cell.response;
+  }
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

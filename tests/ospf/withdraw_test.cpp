@@ -1,0 +1,94 @@
+// Premature aging / withdrawal tests (§14.1).
+#include <gtest/gtest.h>
+
+#include "ospf_test_util.hpp"
+
+namespace nidkit::ospf {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::Rig;
+
+const Ipv4Addr kPrefix{198, 51, 100, 0};
+const Ipv4Addr kMask{255, 255, 255, 0};
+
+TEST(Withdraw, RemovedFromEveryDatabase) {
+  Rig rig;
+  testutil::init_line(rig, 3, frr_profile());
+  rig.start_all();
+  rig.run_for(90s);
+  rig.r(0).originate_external(kPrefix, kMask, 5);
+  rig.run_for(30s);
+  const LsaKey key{LsaType::kExternal, kPrefix, rig.id(0)};
+  for (int i = 0; i < 3; ++i)
+    ASSERT_NE(rig.r(i).lsdb().find(key), nullptr) << "router " << i;
+
+  EXPECT_TRUE(rig.r(0).withdraw_external(kPrefix));
+  rig.run_for(60s);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(rig.r(i).lsdb().find(key), nullptr)
+        << "router " << i << " still holds the flushed LSA";
+}
+
+TEST(Withdraw, RouteDisappearsImmediatelyFromSpf) {
+  Rig rig;
+  testutil::init_two(rig, frr_profile());
+  rig.start_all();
+  rig.run_for(60s);
+  rig.r(0).originate_external(kPrefix, kMask, 5);
+  rig.run_for(20s);
+  auto has_route = [&](Router& r) {
+    for (const auto& route : r.routes())
+      if (route.prefix == kPrefix) return true;
+    return false;
+  };
+  ASSERT_TRUE(has_route(rig.r(1)));
+  rig.r(0).withdraw_external(kPrefix);
+  rig.run_for(10s);
+  // SPF ignores MaxAge LSAs even before the database cleanup completes.
+  EXPECT_FALSE(has_route(rig.r(1)));
+}
+
+TEST(Withdraw, UnknownPrefixReturnsFalse) {
+  Rig rig;
+  testutil::init_two(rig, frr_profile());
+  rig.start_all();
+  rig.run_for(30s);
+  EXPECT_FALSE(rig.r(0).withdraw_external(kPrefix));
+}
+
+TEST(Withdraw, WorksWithBirdProfileToo) {
+  Rig rig;
+  testutil::init_line(rig, 3, bird_profile());
+  rig.start_all();
+  rig.run_for(90s);
+  rig.r(1).originate_external(kPrefix, kMask, 9);
+  rig.run_for(30s);
+  EXPECT_TRUE(rig.r(1).withdraw_external(kPrefix));
+  rig.run_for(60s);
+  const LsaKey key{LsaType::kExternal, kPrefix, rig.id(1)};
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(rig.r(i).lsdb().find(key), nullptr) << "router " << i;
+}
+
+TEST(Withdraw, ReoriginationAfterWithdrawalStartsFresh) {
+  Rig rig;
+  testutil::init_two(rig, frr_profile());
+  rig.start_all();
+  rig.run_for(60s);
+  rig.r(0).originate_external(kPrefix, kMask, 5);
+  rig.run_for(20s);
+  rig.r(0).withdraw_external(kPrefix);
+  rig.run_for(60s);
+  rig.r(0).originate_external(kPrefix, kMask, 7);
+  rig.run_for(20s);
+  const LsaKey key{LsaType::kExternal, kPrefix, rig.id(0)};
+  const auto* on_peer = rig.r(1).lsdb().find(key);
+  ASSERT_NE(on_peer, nullptr);
+  EXPECT_LT(rig.r(1).lsdb().age_at(*on_peer, rig.sim.now()),
+            kMaxAgeSeconds);
+  EXPECT_EQ(std::get<ExternalLsaBody>(on_peer->lsa.body).metric, 7u);
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

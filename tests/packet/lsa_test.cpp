@@ -1,0 +1,233 @@
+#include "packet/lsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/ospf_packet.hpp"
+
+namespace nidkit::ospf {
+namespace {
+
+Lsa sample_router_lsa() {
+  Lsa lsa;
+  lsa.header.type = LsaType::kRouter;
+  lsa.header.link_state_id = Ipv4Addr{1, 1, 1, 1};
+  lsa.header.advertising_router = RouterId{1, 1, 1, 1};
+  RouterLsaBody body;
+  body.flags = 0x02;
+  body.links.push_back(RouterLink{Ipv4Addr{2, 2, 2, 2}, Ipv4Addr{10, 0, 1, 1},
+                                  RouterLinkType::kPointToPoint, 3});
+  body.links.push_back(RouterLink{Ipv4Addr{10, 0, 1, 0},
+                                  Ipv4Addr{255, 255, 255, 252},
+                                  RouterLinkType::kStub, 1});
+  lsa.body = std::move(body);
+  lsa.finalize();
+  return lsa;
+}
+
+Lsa round_trip(const Lsa& in) {
+  ByteWriter w;
+  in.encode(w);
+  ByteReader r(w.view());
+  auto out = Lsa::decode(r);
+  EXPECT_TRUE(out.ok()) << (out.ok() ? "" : out.error());
+  return std::move(out).take();
+}
+
+TEST(Lsa, RouterLsaRoundTrips) {
+  const Lsa in = sample_router_lsa();
+  const Lsa out = round_trip(in);
+  EXPECT_EQ(in, out);
+  EXPECT_TRUE(out.checksum_ok());
+}
+
+TEST(Lsa, NetworkLsaRoundTrips) {
+  Lsa in;
+  in.header.type = LsaType::kNetwork;
+  in.header.link_state_id = Ipv4Addr{10, 0, 1, 1};
+  in.header.advertising_router = RouterId{1, 1, 1, 1};
+  NetworkLsaBody body;
+  body.network_mask = Ipv4Addr{255, 255, 255, 0};
+  body.attached_routers = {RouterId{1, 1, 1, 1}, RouterId{2, 2, 2, 2},
+                           RouterId{3, 3, 3, 3}};
+  in.body = std::move(body);
+  in.finalize();
+  EXPECT_EQ(in, round_trip(in));
+}
+
+TEST(Lsa, SummaryLsaRoundTrips) {
+  Lsa in;
+  in.header.type = LsaType::kSummaryNet;
+  in.header.link_state_id = Ipv4Addr{172, 16, 0, 0};
+  in.header.advertising_router = RouterId{1, 1, 1, 1};
+  in.body = SummaryLsaBody{Ipv4Addr{255, 255, 0, 0}, 777};
+  in.finalize();
+  EXPECT_EQ(in, round_trip(in));
+}
+
+TEST(Lsa, ExternalLsaRoundTrips) {
+  Lsa in;
+  in.header.type = LsaType::kExternal;
+  in.header.link_state_id = Ipv4Addr{192, 168, 50, 0};
+  in.header.advertising_router = RouterId{4, 4, 4, 4};
+  ExternalLsaBody body;
+  body.network_mask = Ipv4Addr{255, 255, 255, 0};
+  body.type2 = true;
+  body.metric = 20;
+  body.forwarding_address = Ipv4Addr{10, 9, 9, 9};
+  body.external_route_tag = 0xdeadbeef;
+  in.body = std::move(body);
+  in.finalize();
+  const Lsa out = round_trip(in);
+  EXPECT_EQ(in, out);
+  EXPECT_TRUE(std::get<ExternalLsaBody>(out.body).type2);
+}
+
+TEST(Lsa, Type1ExternalEBitClear) {
+  Lsa in;
+  in.header.type = LsaType::kExternal;
+  in.header.link_state_id = Ipv4Addr{192, 168, 51, 0};
+  in.header.advertising_router = RouterId{4, 4, 4, 4};
+  ExternalLsaBody body;
+  body.type2 = false;
+  in.body = std::move(body);
+  in.finalize();
+  EXPECT_FALSE(std::get<ExternalLsaBody>(round_trip(in).body).type2);
+}
+
+TEST(Lsa, FinalizeComputesLength) {
+  const Lsa lsa = sample_router_lsa();
+  // 20-byte header + 4-byte fixed router body + 2 links * 12 bytes.
+  EXPECT_EQ(lsa.header.length, 20u + 4u + 24u);
+}
+
+TEST(Lsa, FinalizeChecksumValidatesAndChangesWithContent) {
+  Lsa lsa = sample_router_lsa();
+  const auto before = lsa.header.checksum;
+  std::get<RouterLsaBody>(lsa.body).links[0].metric = 99;
+  lsa.finalize();
+  EXPECT_NE(before, lsa.header.checksum);
+  EXPECT_TRUE(lsa.checksum_ok());
+}
+
+TEST(Lsa, CorruptedBodyFailsChecksum) {
+  Lsa lsa = sample_router_lsa();
+  std::get<RouterLsaBody>(lsa.body).links[0].metric ^= 1;
+  // finalize() NOT called: the stored checksum no longer matches.
+  EXPECT_FALSE(lsa.checksum_ok());
+}
+
+TEST(Lsa, DecodeRejectsTruncatedHeader) {
+  ByteWriter w;
+  sample_router_lsa().encode(w);
+  auto bytes = w.take();
+  bytes.resize(10);
+  ByteReader r(bytes);
+  EXPECT_FALSE(Lsa::decode(r).ok());
+}
+
+TEST(Lsa, DecodeRejectsTruncatedBody) {
+  ByteWriter w;
+  sample_router_lsa().encode(w);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 4);
+  ByteReader r(bytes);
+  EXPECT_FALSE(Lsa::decode(r).ok());
+}
+
+TEST(Lsa, DecodeRejectsBadType) {
+  ByteWriter w;
+  sample_router_lsa().encode(w);
+  auto bytes = w.take();
+  bytes[3] = 9;  // type field
+  ByteReader r(bytes);
+  EXPECT_FALSE(Lsa::decode(r).ok());
+}
+
+TEST(Lsa, DecodeRejectsBadRouterLinkType) {
+  Lsa lsa = sample_router_lsa();
+  ByteWriter w;
+  lsa.encode(w);
+  auto bytes = w.take();
+  bytes[20 + 4 + 8] = 7;  // first link's type byte
+  ByteReader r(bytes);
+  EXPECT_FALSE(Lsa::decode(r).ok());
+}
+
+TEST(Lsa, DecodeRejectsLengthShorterThanHeader) {
+  ByteWriter w;
+  sample_router_lsa().encode(w);
+  auto bytes = w.take();
+  bytes[18] = 0;
+  bytes[19] = 10;  // length = 10 < 20
+  ByteReader r(bytes);
+  EXPECT_FALSE(Lsa::decode(r).ok());
+}
+
+TEST(Lsa, SameLsaComparesKeyOnly) {
+  LsaHeader a, b;
+  a.type = b.type = LsaType::kRouter;
+  a.link_state_id = b.link_state_id = Ipv4Addr{1, 1, 1, 1};
+  a.advertising_router = b.advertising_router = RouterId{1, 1, 1, 1};
+  a.seq = 5;
+  b.seq = 9;
+  EXPECT_TRUE(same_lsa(a, b));
+  b.advertising_router = RouterId{2, 2, 2, 2};
+  EXPECT_FALSE(same_lsa(a, b));
+}
+
+// ---- §13.1 instance-freshness ordering ----
+
+LsaHeader header_with(std::int32_t seq, std::uint16_t checksum,
+                      std::uint16_t age) {
+  LsaHeader h;
+  h.seq = seq;
+  h.checksum = checksum;
+  h.age = age;
+  return h;
+}
+
+TEST(CompareInstances, GreaterSeqWins) {
+  EXPECT_GT(compare_instances(header_with(10, 0, 0), header_with(9, 999, 0)),
+            0);
+  EXPECT_LT(compare_instances(header_with(9, 0, 0), header_with(10, 0, 0)),
+            0);
+}
+
+TEST(CompareInstances, NegativeSeqSpaceOrdersCorrectly) {
+  // Initial sequence 0x80000001 is the most negative int32; any later
+  // instance must compare newer.
+  EXPECT_GT(compare_instances(header_with(kInitialSequenceNumber + 1, 0, 0),
+                              header_with(kInitialSequenceNumber, 0, 0)),
+            0);
+}
+
+TEST(CompareInstances, ChecksumBreaksSeqTie) {
+  EXPECT_GT(
+      compare_instances(header_with(5, 200, 0), header_with(5, 100, 0)), 0);
+}
+
+TEST(CompareInstances, MaxAgeInstanceIsNewer) {
+  EXPECT_GT(compare_instances(header_with(5, 7, kMaxAgeSeconds),
+                              header_with(5, 7, 10)),
+            0);
+}
+
+TEST(CompareInstances, LargeAgeGapPrefersYounger) {
+  EXPECT_GT(compare_instances(header_with(5, 7, 10),
+                              header_with(5, 7, 10 + kMaxAgeDiffSeconds + 1)),
+            0);
+}
+
+TEST(CompareInstances, SmallAgeGapIsSameInstance) {
+  EXPECT_EQ(compare_instances(header_with(5, 7, 10), header_with(5, 7, 100)),
+            0);
+}
+
+TEST(Lsa, HeaderToStringMentionsKeyFields) {
+  const auto s = sample_router_lsa().header.to_string();
+  EXPECT_NE(s.find("router-LSA"), std::string::npos);
+  EXPECT_NE(s.find("1.1.1.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nidkit::ospf

@@ -1,0 +1,134 @@
+#include "packet/rip_packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit::rip {
+namespace {
+
+RipEntry entry(std::uint8_t third_octet, std::uint32_t metric) {
+  RipEntry e;
+  e.prefix = Ipv4Addr{10, 0, third_octet, 0};
+  e.mask = Ipv4Addr{255, 255, 255, 0};
+  e.metric = metric;
+  return e;
+}
+
+TEST(RipCodec, ResponseRoundTrips) {
+  RipPacket in;
+  in.command = Command::kResponse;
+  in.entries = {entry(1, 1), entry(2, 5), entry(3, 16)};
+  const auto wire = encode(in);
+  auto out = decode(wire);
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(out.value(), in);
+}
+
+TEST(RipCodec, WireSizeIsHeaderPlusEntries) {
+  RipPacket in;
+  in.entries = {entry(1, 1), entry(2, 2)};
+  EXPECT_EQ(encode(in).size(), 4u + 2 * 20u);
+}
+
+TEST(RipCodec, FullTableRequestShape) {
+  const RipPacket req = make_full_table_request();
+  EXPECT_TRUE(req.is_full_table_request());
+  auto out = decode(encode(req));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().is_full_table_request());
+}
+
+TEST(RipCodec, SpecificRequestIsNotFullTable) {
+  RipPacket req;
+  req.command = Command::kRequest;
+  req.entries = {entry(1, 1)};
+  EXPECT_FALSE(req.is_full_table_request());
+}
+
+TEST(RipCodec, RuntRejected) {
+  const std::vector<std::uint8_t> wire = {2, 2};
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(RipCodec, RaggedEntryListRejected) {
+  auto wire = encode(make_full_table_request());
+  wire.push_back(0);
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(RipCodec, BadCommandRejected) {
+  auto wire = encode(make_full_table_request());
+  wire[0] = 3;
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(RipCodec, Version1Accepted) {
+  auto wire = encode(make_full_table_request());
+  wire[1] = 1;
+  auto out = decode(wire);
+  ASSERT_TRUE(out.ok()) << out.error();
+  EXPECT_EQ(out.value().version, 1);
+}
+
+TEST(RipCodec, Version3Rejected) {
+  auto wire = encode(make_full_table_request());
+  wire[1] = 3;
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(RipCodec, V1EncodingZeroesMaskAndNextHop) {
+  RipPacket pkt;
+  pkt.version = 1;
+  pkt.command = Command::kResponse;
+  RipEntry e;
+  e.prefix = Ipv4Addr{10, 1, 0, 0};
+  e.mask = Ipv4Addr{255, 255, 252, 0};
+  e.next_hop = Ipv4Addr{10, 9, 9, 9};
+  e.route_tag = 77;
+  e.metric = 2;
+  pkt.entries = {e};
+  const auto wire = encode(pkt);
+  // Within the 20-byte entry: route tag (2-4), mask (8-12) and next hop
+  // (12-16) are must-be-zero in version 1.
+  for (const std::size_t i :
+       {2u, 3u, 8u, 9u, 10u, 11u, 12u, 13u, 14u, 15u})
+    EXPECT_EQ(wire[4 + i], 0) << "offset " << i;
+  auto out = decode(wire);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().entries[0].mask.is_zero());
+}
+
+TEST(RipCodec, MetricZeroRejected) {
+  RipPacket in;
+  in.entries = {entry(1, 1)};
+  auto wire = encode(in);
+  wire[4 + 16 + 3] = 0;  // metric low byte -> 0
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(RipCodec, MetricAboveInfinityRejected) {
+  RipPacket in;
+  in.entries = {entry(1, 1)};
+  auto wire = encode(in);
+  wire[4 + 16 + 3] = 17;
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(RipCodec, TwentyFiveEntriesAccepted) {
+  RipPacket in;
+  for (std::uint8_t i = 0; i < 25; ++i) in.entries.push_back(entry(i, 1));
+  EXPECT_TRUE(decode(encode(in)).ok());
+}
+
+TEST(RipCodec, TwentySixEntriesRejected) {
+  RipPacket in;
+  for (std::uint8_t i = 0; i < 26; ++i) in.entries.push_back(entry(i, 1));
+  EXPECT_FALSE(decode(encode(in)).ok());
+}
+
+TEST(RipCodec, SummaryMentionsCommand) {
+  EXPECT_NE(make_full_table_request().summary().find("Request"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nidkit::rip

@@ -1,0 +1,107 @@
+#include "topo/topo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit::topo {
+namespace {
+
+struct Case {
+  Spec spec;
+  std::size_t expected_segments;
+};
+
+class TopoShape : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TopoShape, NodeAndSegmentCounts) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 1);
+  const auto built = build(net, GetParam().spec);
+  EXPECT_EQ(built.nodes.size(), GetParam().spec.routers);
+  EXPECT_EQ(built.segments.size(), GetParam().expected_segments);
+  EXPECT_EQ(net.node_count(), GetParam().spec.routers);
+  EXPECT_EQ(net.segment_count(), GetParam().expected_segments);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopoShape,
+    ::testing::Values(Case{{Kind::kLinear, 2}, 1}, Case{{Kind::kLinear, 5}, 4},
+                      Case{{Kind::kMesh, 3}, 3}, Case{{Kind::kMesh, 5}, 10},
+                      Case{{Kind::kRing, 4}, 4}, Case{{Kind::kStar, 5}, 4},
+                      Case{{Kind::kTree, 7}, 6}, Case{{Kind::kLan, 4}, 1}),
+    [](const auto& info) {
+      auto name = info.param.spec.name();
+      for (auto& c : name)
+        if (c == '-') c = '_';  // gtest names must be identifiers
+      return name;
+    });
+
+TEST(Topo, NamesAreDescriptive) {
+  EXPECT_EQ((Spec{Kind::kLinear, 2}.name()), "linear-2");
+  EXPECT_EQ((Spec{Kind::kMesh, 5}.name()), "mesh-5");
+  EXPECT_EQ((Spec{Kind::kLan, 4}.name()), "lan-4");
+}
+
+TEST(Topo, PaperTopologiesMatchThePaper) {
+  const auto specs = paper_topologies();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name(), "linear-2");
+  EXPECT_EQ(specs[1].name(), "mesh-3");
+  EXPECT_EQ(specs[2].name(), "linear-5");
+  EXPECT_EQ(specs[3].name(), "mesh-5");
+}
+
+TEST(Topo, ExtendedSupersetOfPaper) {
+  const auto ext = extended_topologies();
+  EXPECT_GT(ext.size(), paper_topologies().size());
+  for (std::size_t i = 0; i < paper_topologies().size(); ++i)
+    EXPECT_EQ(ext[i].name(), paper_topologies()[i].name());
+}
+
+TEST(Topo, LanSegmentIsBroadcast) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 1);
+  const auto built = build(net, Spec{Kind::kLan, 3});
+  EXPECT_TRUE(net.segment_is_lan(built.segments[0]));
+}
+
+TEST(Topo, MeshIsPointToPointPairs) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 1);
+  const auto built = build(net, Spec{Kind::kMesh, 4});
+  for (const auto seg : built.segments) {
+    EXPECT_FALSE(net.segment_is_lan(seg));
+    EXPECT_EQ(net.attachments(seg).size(), 2u);
+  }
+  // Every router has degree n-1.
+  for (const auto node : built.nodes)
+    EXPECT_EQ(net.iface_count(node), 3u);
+}
+
+TEST(Topo, StarHubHasAllSpokes) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 1);
+  const auto built = build(net, Spec{Kind::kStar, 5});
+  EXPECT_EQ(net.iface_count(built.nodes[0]), 4u);
+  for (std::size_t i = 1; i < 5; ++i)
+    EXPECT_EQ(net.iface_count(built.nodes[i]), 1u);
+}
+
+TEST(Topo, TreeParentsAreBalanced) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 1);
+  const auto built = build(net, Spec{Kind::kTree, 7});
+  // Root and the two inner nodes have 2 children; leaves have 1 link.
+  EXPECT_EQ(net.iface_count(built.nodes[0]), 2u);
+  EXPECT_EQ(net.iface_count(built.nodes[1]), 3u);  // parent + 2 children
+  EXPECT_EQ(net.iface_count(built.nodes[6]), 1u);
+}
+
+TEST(Topo, InvalidSpecsRejected) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 1);
+  EXPECT_THROW(build(net, Spec{Kind::kLinear, 1}), std::invalid_argument);
+  EXPECT_THROW(build(net, Spec{Kind::kRing, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nidkit::topo

@@ -1,0 +1,63 @@
+#include "util/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nidkit {
+namespace {
+
+TEST(Ipv4Addr, OctetConstructorOrdersBytes) {
+  EXPECT_EQ((Ipv4Addr{10, 0, 0, 1}.value()), 0x0a000001u);
+}
+
+TEST(Ipv4Addr, ToStringDottedQuad) {
+  EXPECT_EQ((Ipv4Addr{192, 168, 1, 200}.to_string()), "192.168.1.200");
+  EXPECT_EQ(Ipv4Addr{}.to_string(), "0.0.0.0");
+  EXPECT_EQ((Ipv4Addr{255, 255, 255, 255}.to_string()), "255.255.255.255");
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  Ipv4Addr out;
+  ASSERT_TRUE(Ipv4Addr::parse("172.16.254.3", &out));
+  EXPECT_EQ(out, (Ipv4Addr{172, 16, 254, 3}));
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  Ipv4Addr out{1};
+  EXPECT_FALSE(Ipv4Addr::parse("", &out));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3", &out));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5", &out));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1", &out));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x", &out));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 trailing", &out));
+  // Failed parses leave the output untouched.
+  EXPECT_EQ(out.value(), 1u);
+}
+
+TEST(Ipv4Addr, RoundTripsThroughString) {
+  for (const auto addr :
+       {Ipv4Addr{0, 0, 0, 0}, Ipv4Addr{127, 0, 0, 1}, Ipv4Addr{10, 20, 30, 40},
+        Ipv4Addr{224, 0, 0, 5}, Ipv4Addr{255, 255, 255, 255}}) {
+    Ipv4Addr parsed;
+    ASSERT_TRUE(Ipv4Addr::parse(addr.to_string(), &parsed));
+    EXPECT_EQ(parsed, addr);
+  }
+}
+
+TEST(Ipv4Addr, OrderingFollowsNumericValue) {
+  EXPECT_LT((Ipv4Addr{1, 1, 1, 1}), (Ipv4Addr{1, 1, 1, 2}));
+  EXPECT_LT((Ipv4Addr{1, 255, 255, 255}), (Ipv4Addr{2, 0, 0, 0}));
+}
+
+TEST(Ipv4Addr, IsZero) {
+  EXPECT_TRUE(Ipv4Addr{}.is_zero());
+  EXPECT_FALSE((Ipv4Addr{0, 0, 0, 1}).is_zero());
+}
+
+TEST(Ipv4Addr, WellKnownMulticastConstants) {
+  EXPECT_EQ(kAllSpfRouters.to_string(), "224.0.0.5");
+  EXPECT_EQ(kAllDRouters.to_string(), "224.0.0.6");
+  EXPECT_TRUE(kBackboneArea.is_zero());
+}
+
+}  // namespace
+}  // namespace nidkit

@@ -1,0 +1,112 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nidkit {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysBelowBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(13), 13u);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, JitterWithinRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = rng.jitter(10ms, 20ms);
+    EXPECT_GE(d, SimDuration{10ms});
+    EXPECT_LE(d, SimDuration{20ms});
+  }
+}
+
+TEST(Rng, JitterDegenerateRangeReturnsLo) {
+  Rng rng(29);
+  EXPECT_EQ(rng.jitter(5ms, 5ms), SimDuration{5ms});
+  EXPECT_EQ(rng.jitter(5ms, 3ms), SimDuration{5ms});
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(31);
+  parent2.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child.next() == parent.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(37), b(37);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+}  // namespace
+}  // namespace nidkit

@@ -1,0 +1,10 @@
+// nidt: thin process wrapper around the stream-parameterized CLI library.
+#include <iostream>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  return nidkit::cli::run_cli(tokens, std::cout, std::cerr);
+}
