@@ -1,0 +1,88 @@
+// Parallel executor benchmark + determinism gate.
+//
+// Runs the paper's audit (4 topologies × 3 seeds, frr vs bird) at --jobs
+// 1, 4 and 8 and verifies that the report JSON is byte-identical across
+// every worker count — the executor's core guarantee. Wall-clock numbers
+// are printed as a machine-readable JSON entry (recorded in
+// BENCH_parallel_audit.json at the repo root).
+//
+// Exit status: nonzero if any JSON differs, or if the jobs=4 speedup is
+// below 2x *on hardware with at least 4 cores*. On smaller machines (CI
+// containers are often 1-2 vCPUs) the speedup check is reported but not
+// enforced — a single core cannot run two simulations at once, and
+// failing the build over physics would be noise.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "detect/json.hpp"
+#include "harness/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nidkit;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Run {
+  std::string json;
+  double wall_ms = 0;
+  double scenario_ms = 0;     ///< sum of per-scenario wall times
+  std::size_t queue_depth = 0;
+};
+
+Run run_audit(std::size_t jobs) {
+  harness::ExperimentConfig config;  // paper defaults: 4 topologies, 3 seeds
+  config.jobs = jobs;
+  const auto start = Clock::now();
+  const auto audit = harness::audit_ospf(
+      {ospf::frr_profile(), ospf::bird_profile()}, config,
+      mining::ospf_type_scheme());
+  Run run;
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  run.json = detect::to_json(audit.named(), audit.discrepancies);
+  for (const auto& t : audit.exec.tasks) run.scenario_ms += t.wall_ms;
+  run.queue_depth = audit.exec.max_queue_depth;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t cores = default_worker_count();
+  std::printf("=== Parallel audit: 4 topologies x 3 seeds x {frr,bird}, "
+              "%zu hardware threads ===\n\n", cores);
+
+  const Run j1 = run_audit(1);
+  const Run j4 = run_audit(4);
+  const Run j8 = run_audit(8);
+
+  const bool identical = j1.json == j4.json && j1.json == j8.json;
+  const double speedup4 = j4.wall_ms > 0 ? j1.wall_ms / j4.wall_ms : 0;
+  const double speedup8 = j8.wall_ms > 0 ? j1.wall_ms / j8.wall_ms : 0;
+
+  std::printf("{\"bench\":\"parallel_audit\",\"topologies\":4,\"seeds\":3,"
+              "\"implementations\":2,\"hardware_concurrency\":%zu,"
+              "\"wall_ms\":{\"jobs1\":%.2f,\"jobs4\":%.2f,\"jobs8\":%.2f},"
+              "\"scenario_ms_total\":{\"jobs1\":%.2f,\"jobs4\":%.2f},"
+              "\"max_queue_depth_jobs8\":%zu,"
+              "\"speedup\":{\"jobs4\":%.2f,\"jobs8\":%.2f},"
+              "\"report_json_identical\":%s}\n\n",
+              cores, j1.wall_ms, j4.wall_ms, j8.wall_ms, j1.scenario_ms,
+              j4.scenario_ms, j8.queue_depth, speedup4, speedup8,
+              identical ? "true" : "false");
+
+  std::printf("determinism check:\n"
+              "  report JSON byte-identical across jobs 1/4/8: %s\n",
+              identical ? "yes" : "NO");
+  const bool enforce_speedup = cores >= 4;
+  std::printf("speedup check (%s on %zu-core hardware):\n"
+              "  jobs=4 speedup >= 2x: %s (%.2fx)\n",
+              enforce_speedup ? "enforced" : "informational only",
+              cores, speedup4 >= 2.0 ? "yes" : "NO", speedup4);
+
+  if (!identical) return 1;
+  if (enforce_speedup && speedup4 < 2.0) return 1;
+  return 0;
+}

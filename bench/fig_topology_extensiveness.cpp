@@ -10,15 +10,17 @@
 // extras add little to nothing.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "harness/experiment.hpp"
 
 using namespace nidkit;
 using namespace std::chrono_literals;
 
-int main() {
+int main(int argc, char** argv) {
   harness::ExperimentConfig config;
   config.topologies = topo::extended_topologies();
   config.seeds = {1, 2};
+  config.jobs = bench::jobs_from_argv(argc, argv);
 
   std::printf("=== Relationship extensiveness vs topology set ===\n\n");
 

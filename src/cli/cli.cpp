@@ -73,15 +73,20 @@ int usage(std::ostream& out) {
          "             [--scheme type|gtsn|state|lsatype] [--topos paper|extended]\n"
          "             [--format text|json]\n"
          "             [--tdelay-ms 900] [--seeds 1,2,3] [--duration-s 180]\n"
+         "             [--jobs N] [--stats file.json|inline]\n"
          "  trace      --impl frr [--topo mesh-5] [--seed 1]\n"
          "             [--out trace.txt | --pcap capture.pcap]\n"
          "  mine       --in trace.txt [--tdelay-ms 900] [--scheme type]\n"
-         "  sweep      [--impl frr] [--max-ms 1500] [--step-ms 150]\n"
+         "  sweep      [--impl frr] [--max-ms 1500] [--step-ms 150] [--jobs N]\n"
          "  inject     --target frr|bird|strict --stimulus LSU-stale|LSR|...\n"
          "  validate   --impls frr,bird [--scheme gtsn] : mine flags, then\n"
          "             confirm each by crafted-packet injection\n"
-         "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3]\n"
-         "  help\n";
+         "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3] [--jobs N]\n"
+         "  help\n"
+         "\n"
+         "  --jobs N parallelizes scenario execution over N workers\n"
+         "  (default: hardware concurrency; results are identical for\n"
+         "  every N). --stats writes executor wall-time/queue telemetry.\n";
   return 0;
 }
 
@@ -152,7 +157,31 @@ std::optional<harness::ExperimentConfig> config_from(const Args& args,
       return std::nullopt;
     }
   }
+  if (args.has("jobs")) {
+    const auto jobs = args.get_int("jobs");
+    if (!jobs || *jobs < 0) {
+      err << "--jobs needs a non-negative worker count\n";
+      return std::nullopt;
+    }
+    // 0 keeps the default: as many workers as the hardware allows.
+    config.jobs = static_cast<std::size_t>(*jobs);
+  }
   return config;
+}
+
+/// Writes executor telemetry to the --stats destination ("inline" is
+/// handled by the caller — it embeds into the report JSON instead).
+bool write_stats_file(const Args& args, const harness::ExecReport& exec,
+                      std::ostream& err) {
+  const std::string path = args.get("stats", "");
+  if (path.empty() || path == "inline") return true;
+  std::ofstream file(path);
+  if (!file) {
+    err << "cannot open " << path << "\n";
+    return false;
+  }
+  file << exec.to_json() << "\n";
+  return true;
 }
 
 int cmd_audit(const Args& args, std::ostream& out, std::ostream& err) {
@@ -180,8 +209,15 @@ int cmd_audit(const Args& args, std::ostream& out, std::ostream& err) {
       return 2;
     }
     const auto audit = harness::audit_ospf(impls, *config, *scheme);
+    if (!write_stats_file(args, audit.exec, err)) return 2;
     if (args.get("format", "text") == "json") {
-      out << detect::to_json(audit.named(), audit.discrepancies) << "\n";
+      if (args.get("stats", "") == "inline") {
+        const auto runtime = audit.exec.to_json();
+        out << detect::to_json(audit.named(), audit.discrepancies, &runtime)
+            << "\n";
+      } else {
+        out << detect::to_json(audit.named(), audit.discrepancies) << "\n";
+      }
       return 0;
     }
     std::set<std::string> stims, resps;
@@ -203,6 +239,7 @@ int cmd_audit(const Args& args, std::ostream& out, std::ostream& err) {
     const auto audit = harness::audit_rip(
         {rip::rip_classic_profile(), rip::rip_eager_profile()}, *config,
         mining::rip_refined_scheme());
+    if (!write_stats_file(args, audit.exec, err)) return 2;
     out << detect::render_discrepancies(audit.discrepancies);
     return 0;
   }
@@ -217,6 +254,7 @@ int cmd_audit(const Args& args, std::ostream& out, std::ostream& err) {
     const auto audit = harness::audit_bgp(
         {bgp::bgp_robust_profile(), bgp::bgp_fragile_profile()}, *config,
         mining::bgp_message_scheme());
+    if (!write_stats_file(args, audit.exec, err)) return 2;
     out << detect::render_discrepancies(audit.discrepancies);
     return 0;
   }
@@ -308,6 +346,8 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
                        topo::Spec{topo::Kind::kMesh, 3}};
   config.seeds = {1};
   config.link_jitter = 400ms;
+  if (const auto jobs = args.get_int("jobs"); jobs && *jobs >= 0)
+    config.jobs = static_cast<std::size_t>(*jobs);
   const long long max_ms = args.get_int("max-ms").value_or(1500);
   const long long step_ms = std::max<long long>(
       50, args.get_int("step-ms").value_or(150));

@@ -41,7 +41,8 @@ void emit_cell(std::ostringstream& os, mining::RelationDirection dir,
 }  // namespace
 
 std::string to_json(const std::vector<NamedRelations>& impls,
-                    const std::vector<Discrepancy>& discrepancies) {
+                    const std::vector<Discrepancy>& discrepancies,
+                    const std::string* runtime_json) {
   std::ostringstream os;
   os << "{\"implementations\":[";
   for (std::size_t i = 0; i < impls.size(); ++i) {
@@ -75,7 +76,9 @@ std::string to_json(const std::vector<NamedRelations>& impls,
        << "\",\"count\":" << d.evidence.count
        << ",\"first_seen_us\":" << d.evidence.first_seen.count() << "}";
   }
-  os << "]}";
+  os << "]";
+  if (runtime_json) os << ",\"runtime\":" << *runtime_json;
+  os << "}";
   return os.str();
 }
 

@@ -1,56 +1,142 @@
 #include "harness/experiment.hpp"
 
+#include <utility>
+
 namespace nidkit::harness {
 
-mining::RelationSet mine_ospf(const ospf::BehaviorProfile& profile,
-                              const ExperimentConfig& config,
-                              const mining::KeyScheme& scheme) {
-  mining::CausalMiner miner(config.miner_config());
-  mining::RelationSet out;
+// Copy-through guard for ExperimentConfig::scenario_for. If this trips you
+// added a field to ExperimentConfig: either copy it into the Scenario in
+// scenario_for (and extend Config.ScenarioForCopiesExperimentKnobs), or —
+// for executor-level knobs that do not describe a single scenario, like
+// `jobs` — document the exemption there. Then update the expected size.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(ExperimentConfig) == 112,
+              "ExperimentConfig grew: thread the new knob through "
+              "scenario_for (or exempt it) and update this guard");
+#endif
+
+namespace {
+
+/// One fanned-out unit of work: a fully-specified scenario plus its
+/// human-readable label ("impl/topology/seed") for the telemetry report.
+struct ScenarioJob {
+  Scenario scenario;
+  std::string label;
+};
+
+std::string job_label(const std::string& impl, const topo::Spec& spec,
+                      std::uint64_t seed) {
+  return impl + "/" + spec.name() + "/s" + std::to_string(seed);
+}
+
+/// Runs every job on the executor and mines each trace under `scheme`.
+/// Returned sets are in canonical job order; merging them left-to-right
+/// reproduces the serial loop nest exactly.
+std::vector<mining::RelationSet> mine_jobs(
+    const std::vector<ScenarioJob>& jobs, const ExperimentConfig& config,
+    const mining::KeyScheme& scheme, ExecReport* exec) {
+  const mining::CausalMiner miner(config.miner_config());
+  std::vector<std::string> labels;
+  labels.reserve(jobs.size());
+  for (const auto& j : jobs) labels.push_back(j.label);
+
+  ParallelExecutor executor(config.jobs);
+  auto sets = executor.run_indexed(jobs.size(), labels, [&](std::size_t i) {
+    const ScenarioResult run = run_scenario(jobs[i].scenario);
+    return miner.mine(run.log, scheme);
+  });
+  if (exec) exec->accumulate(executor.report());
+  return sets;
+}
+
+/// (topology × seed) job list for one implementation, in the serial
+/// loop-nest order (topologies outer, seeds inner).
+template <typename Setup>
+std::vector<ScenarioJob> scenario_jobs(const ExperimentConfig& config,
+                                       const std::string& impl_name,
+                                       Setup&& setup) {
+  std::vector<ScenarioJob> jobs;
+  jobs.reserve(config.topologies.size() * config.seeds.size());
   for (const auto& spec : config.topologies) {
     for (const auto seed : config.seeds) {
       Scenario s = config.scenario_for(spec, seed);
-      s.protocol = Protocol::kOspf;
-      s.ospf_profile = profile;
-      const ScenarioResult run = run_scenario(s);
-      out.merge(miner.mine(run.log, scheme));
+      setup(s);
+      jobs.push_back(
+          ScenarioJob{std::move(s), job_label(impl_name, spec, seed)});
     }
   }
+  return jobs;
+}
+
+mining::RelationSet merge_in_order(std::vector<mining::RelationSet> sets) {
+  mining::RelationSet out;
+  for (const auto& set : sets) out.merge(set);
   return out;
+}
+
+/// Shared audit pipeline: one fan-out over every (implementation,
+/// topology, seed) scenario, then per-implementation merges in canonical
+/// order and the pairwise comparison.
+template <typename Profile, typename Setup>
+AuditResult audit_impls(const std::vector<Profile>& profiles,
+                        const ExperimentConfig& config,
+                        const mining::KeyScheme& scheme, Setup&& setup) {
+  AuditResult result;
+  std::vector<ScenarioJob> jobs;
+  for (const auto& p : profiles) {
+    result.names.push_back(p.name);
+    auto impl_jobs =
+        scenario_jobs(config, p.name, [&](Scenario& s) { setup(s, p); });
+    jobs.insert(jobs.end(), std::make_move_iterator(impl_jobs.begin()),
+                std::make_move_iterator(impl_jobs.end()));
+  }
+
+  auto sets = mine_jobs(jobs, config, scheme, &result.exec);
+
+  const std::size_t per_impl = config.topologies.size() * config.seeds.size();
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    mining::RelationSet merged;
+    for (std::size_t i = 0; i < per_impl; ++i)
+      merged.merge(sets[p * per_impl + i]);
+    result.by_impl.emplace(profiles[p].name, std::move(merged));
+  }
+  result.discrepancies = detect::compare_all(result.named());
+  return result;
+}
+
+}  // namespace
+
+mining::RelationSet mine_ospf(const ospf::BehaviorProfile& profile,
+                              const ExperimentConfig& config,
+                              const mining::KeyScheme& scheme,
+                              ExecReport* exec) {
+  auto jobs = scenario_jobs(config, profile.name, [&](Scenario& s) {
+    s.protocol = Protocol::kOspf;
+    s.ospf_profile = profile;
+  });
+  return merge_in_order(mine_jobs(jobs, config, scheme, exec));
 }
 
 mining::RelationSet mine_rip(const rip::RipProfile& profile,
                              const ExperimentConfig& config,
-                             const mining::KeyScheme& scheme) {
-  mining::CausalMiner miner(config.miner_config());
-  mining::RelationSet out;
-  for (const auto& spec : config.topologies) {
-    for (const auto seed : config.seeds) {
-      Scenario s = config.scenario_for(spec, seed);
-      s.protocol = Protocol::kRip;
-      s.rip_profile = profile;
-      const ScenarioResult run = run_scenario(s);
-      out.merge(miner.mine(run.log, scheme));
-    }
-  }
-  return out;
+                             const mining::KeyScheme& scheme,
+                             ExecReport* exec) {
+  auto jobs = scenario_jobs(config, profile.name, [&](Scenario& s) {
+    s.protocol = Protocol::kRip;
+    s.rip_profile = profile;
+  });
+  return merge_in_order(mine_jobs(jobs, config, scheme, exec));
 }
 
 mining::RelationSet mine_bgp(const bgp::BgpProfile& profile,
                              const ExperimentConfig& config,
-                             const mining::KeyScheme& scheme) {
-  mining::CausalMiner miner(config.miner_config());
-  mining::RelationSet out;
-  for (const auto& spec : config.topologies) {
-    for (const auto seed : config.seeds) {
-      Scenario s = config.scenario_for(spec, seed);
-      s.protocol = Protocol::kBgp;
-      s.bgp_profile = profile;
-      const ScenarioResult run = run_scenario(s);
-      out.merge(miner.mine(run.log, scheme));
-    }
-  }
-  return out;
+                             const mining::KeyScheme& scheme,
+                             ExecReport* exec) {
+  auto jobs = scenario_jobs(config, profile.name, [&](Scenario& s) {
+    s.protocol = Protocol::kBgp;
+    s.bgp_profile = profile;
+  });
+  return merge_in_order(mine_jobs(jobs, config, scheme, exec));
 }
 
 std::vector<detect::NamedRelations> AuditResult::named() const {
@@ -63,70 +149,119 @@ std::vector<detect::NamedRelations> AuditResult::named() const {
 AuditResult audit_ospf(const std::vector<ospf::BehaviorProfile>& profiles,
                        const ExperimentConfig& config,
                        const mining::KeyScheme& scheme) {
-  AuditResult result;
-  for (const auto& p : profiles) {
-    result.names.push_back(p.name);
-    result.by_impl.emplace(p.name, mine_ospf(p, config, scheme));
-  }
-  result.discrepancies = detect::compare_all(result.named());
-  return result;
+  return audit_impls(profiles, config, scheme,
+                     [](Scenario& s, const ospf::BehaviorProfile& p) {
+                       s.protocol = Protocol::kOspf;
+                       s.ospf_profile = p;
+                     });
 }
 
 AuditResult audit_rip(const std::vector<rip::RipProfile>& profiles,
                       const ExperimentConfig& config,
                       const mining::KeyScheme& scheme) {
-  AuditResult result;
-  for (const auto& p : profiles) {
-    result.names.push_back(p.name);
-    result.by_impl.emplace(p.name, mine_rip(p, config, scheme));
-  }
-  result.discrepancies = detect::compare_all(result.named());
-  return result;
+  return audit_impls(profiles, config, scheme,
+                     [](Scenario& s, const rip::RipProfile& p) {
+                       s.protocol = Protocol::kRip;
+                       s.rip_profile = p;
+                     });
 }
 
 AuditResult audit_bgp(const std::vector<bgp::BgpProfile>& profiles,
                       const ExperimentConfig& config,
                       const mining::KeyScheme& scheme) {
-  AuditResult result;
-  for (const auto& p : profiles) {
-    result.names.push_back(p.name);
-    result.by_impl.emplace(p.name, mine_bgp(p, config, scheme));
-  }
-  result.discrepancies = detect::compare_all(result.named());
-  return result;
+  return audit_impls(profiles, config, scheme,
+                     [](Scenario& s, const bgp::BgpProfile& p) {
+                       s.protocol = Protocol::kBgp;
+                       s.bgp_profile = p;
+                     });
 }
 
 std::vector<SweepPoint> tdelay_sweep(const ospf::BehaviorProfile& profile,
                                      const ExperimentConfig& base,
                                      const std::vector<SimDuration>& tdelays,
                                      const mining::KeyScheme& scheme) {
-  std::vector<SweepPoint> out;
-  for (const auto tdelay : tdelays) {
-    ExperimentConfig config = base;
-    config.tdelay = tdelay;
-    mining::CausalMiner miner(config.miner_config());
-
-    SweepPoint point;
-    point.tdelay = tdelay;
+  // Per-scenario partial sums; accumulated per sweep point in canonical
+  // order, so integer totals (and the ratios derived from them) match the
+  // serial nest bit-for-bit.
+  struct Partial {
     std::size_t mined_pairs = 0;
     std::size_t truth_pairs = 0;
     std::size_t correct_pairs = 0;
+    std::size_t mined_cells = 0;
+    std::size_t unobserved = 0;
+    std::size_t spurious = 0;
+  };
+
+  // Flatten (tdelay × topology × seed) into one fan-out so short TDelay
+  // points do not leave workers idle while long ones finish.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(tdelays.size());
+  for (const auto tdelay : tdelays) {
+    ExperimentConfig c = base;
+    c.tdelay = tdelay;
+    configs.push_back(std::move(c));
+  }
+
+  struct SweepJob {
+    const ExperimentConfig* config;
+    Scenario scenario;
+    std::string label;
+  };
+  std::vector<SweepJob> jobs;
+  for (const auto& config : configs) {
     for (const auto& spec : config.topologies) {
       for (const auto seed : config.seeds) {
         Scenario s = config.scenario_for(spec, seed);
         s.ospf_profile = profile;
-        const ScenarioResult run = run_scenario(s);
-        const auto pairs = miner.mine_pairs(run.log);
-        const auto acc = mining::score_pairs(run.log, pairs);
-        mined_pairs += acc.mined;
-        truth_pairs += acc.truth;
-        correct_pairs += acc.correct;
-        const auto set = miner.classify(run.log, pairs, scheme);
-        const auto cells = mining::score_cells(run.log, set, scheme);
-        point.mined_cells += cells.mined_cells;
-        point.unobserved_cells += cells.unobserved;
-        point.spurious_cells += cells.spurious;
+        jobs.push_back(SweepJob{
+            &config, std::move(s),
+            std::to_string(config.tdelay.count() / 1000) + "ms/" +
+                job_label(profile.name, spec, seed)});
       }
+    }
+  }
+
+  std::vector<std::string> labels;
+  labels.reserve(jobs.size());
+  for (const auto& j : jobs) labels.push_back(j.label);
+
+  ParallelExecutor executor(base.jobs);
+  auto partials = executor.run_indexed(jobs.size(), labels, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    const mining::CausalMiner miner(job.config->miner_config());
+    const ScenarioResult run = run_scenario(job.scenario);
+    const auto pairs = miner.mine_pairs(run.log);
+    const auto acc = mining::score_pairs(run.log, pairs);
+    const auto set = miner.classify(run.log, pairs, scheme);
+    const auto cells = mining::score_cells(run.log, set, scheme);
+    Partial p;
+    p.mined_pairs = acc.mined;
+    p.truth_pairs = acc.truth;
+    p.correct_pairs = acc.correct;
+    p.mined_cells = cells.mined_cells;
+    p.unobserved = cells.unobserved;
+    p.spurious = cells.spurious;
+    return p;
+  });
+
+  const std::size_t per_point =
+      base.topologies.size() * base.seeds.size();
+  std::vector<SweepPoint> out;
+  out.reserve(tdelays.size());
+  for (std::size_t t = 0; t < tdelays.size(); ++t) {
+    SweepPoint point;
+    point.tdelay = tdelays[t];
+    std::size_t mined_pairs = 0;
+    std::size_t truth_pairs = 0;
+    std::size_t correct_pairs = 0;
+    for (std::size_t i = 0; i < per_point; ++i) {
+      const auto& p = partials[t * per_point + i];
+      mined_pairs += p.mined_pairs;
+      truth_pairs += p.truth_pairs;
+      correct_pairs += p.correct_pairs;
+      point.mined_cells += p.mined_cells;
+      point.unobserved_cells += p.unobserved;
+      point.spurious_cells += p.spurious;
     }
     point.precision =
         mined_pairs == 0 ? 1.0
@@ -142,17 +277,20 @@ std::vector<SweepPoint> tdelay_sweep(const ospf::BehaviorProfile& profile,
 std::vector<ExtensivenessPoint> topology_extensiveness(
     const ospf::BehaviorProfile& profile, const ExperimentConfig& config,
     const mining::KeyScheme& scheme) {
-  mining::CausalMiner miner(config.miner_config());
+  // All scenarios run in one fan-out; the cumulative union is then built
+  // serially topology-by-topology, as the figure requires.
+  auto jobs = scenario_jobs(config, profile.name, [&](Scenario& s) {
+    s.ospf_profile = profile;
+  });
+  auto sets = mine_jobs(jobs, config, scheme, nullptr);
+
   mining::RelationSet cumulative;
   std::vector<ExtensivenessPoint> out;
+  std::size_t next = 0;
   for (const auto& spec : config.topologies) {
     const std::size_t before = cumulative.size();
-    for (const auto seed : config.seeds) {
-      Scenario s = config.scenario_for(spec, seed);
-      s.ospf_profile = profile;
-      const ScenarioResult run = run_scenario(s);
-      cumulative.merge(miner.mine(run.log, scheme));
-    }
+    for (std::size_t s = 0; s < config.seeds.size(); ++s)
+      cumulative.merge(sets[next++]);
     out.push_back(ExtensivenessPoint{spec.name(),
                                      cumulative.size() - before,
                                      cumulative.size()});

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "detect/detect.hpp"
+#include "harness/parallel.hpp"
 #include "harness/scenario.hpp"
 #include "mining/miner.hpp"
 
@@ -35,6 +36,10 @@ struct ExperimentConfig {
   SimDuration lsa_refresh = 0s;
   SimDuration miner_horizon = 5s;
   double window_factor = 2.0;
+  /// Worker threads for fanning out (topology, seed, implementation)
+  /// scenarios. 0 = hardware_concurrency, 1 = the serial reference path.
+  /// Results are bit-identical for every value (see parallel.hpp).
+  std::size_t jobs = 0;
 
   mining::MinerConfig miner_config() const {
     mining::MinerConfig m;
@@ -44,6 +49,11 @@ struct ExperimentConfig {
     return m;
   }
 
+  // Copy-through contract: every *per-scenario* knob added to this struct
+  // must be threaded through here (executor-level knobs such as `jobs`
+  // are exempt). A size guard in experiment.cpp trips on growth so a new
+  // field cannot be forgotten silently; the copied set is pinned by
+  // Config.ScenarioForCopiesExperimentKnobs.
   Scenario scenario_for(const topo::Spec& spec, std::uint64_t seed) const {
     Scenario s;
     s.topology = spec;
@@ -57,28 +67,40 @@ struct ExperimentConfig {
   }
 };
 
-/// Mines one OSPF implementation: runs every (topology, seed) scenario,
-/// mines each trace, unions the results.
+/// Mines one OSPF implementation: runs every (topology, seed) scenario —
+/// fanned out over config.jobs workers — mines each trace, and unions the
+/// per-scenario sets in canonical (topology, seed) order. When `exec` is
+/// non-null, per-scenario wall times accumulate into it.
 mining::RelationSet mine_ospf(const ospf::BehaviorProfile& profile,
                               const ExperimentConfig& config,
-                              const mining::KeyScheme& scheme);
+                              const mining::KeyScheme& scheme,
+                              ExecReport* exec = nullptr);
 
 /// Same for a RIP variant.
 mining::RelationSet mine_rip(const rip::RipProfile& profile,
                              const ExperimentConfig& config,
-                             const mining::KeyScheme& scheme);
+                             const mining::KeyScheme& scheme,
+                             ExecReport* exec = nullptr);
 
 /// Same for a BGP variant. Scenarios include the long-path churn workload
 /// (the incident stimulus) so AS_PATH-handling differences surface.
 mining::RelationSet mine_bgp(const bgp::BgpProfile& profile,
                              const ExperimentConfig& config,
-                             const mining::KeyScheme& scheme);
+                             const mining::KeyScheme& scheme,
+                             ExecReport* exec = nullptr);
 
-/// Full audit: mine every implementation, compare pairwise.
+/// Full audit: mine every implementation, compare pairwise. All
+/// (implementation, topology, seed) scenarios share one fan-out, so the
+/// pool stays busy even while the widest topology of one implementation
+/// is still simulating.
 struct AuditResult {
   std::vector<std::string> names;
   std::map<std::string, mining::RelationSet> by_impl;
   std::vector<detect::Discrepancy> discrepancies;
+  /// Execution telemetry (worker count, per-scenario wall times, queue
+  /// depth). Nondeterministic by nature — kept out of the report JSON
+  /// unless explicitly requested (see cli --stats).
+  ExecReport exec;
 
   std::vector<detect::NamedRelations> named() const;
 };

@@ -1,0 +1,35 @@
+#include "harness/parallel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "detect/json.hpp"
+
+namespace nidkit::harness {
+
+void ExecReport::accumulate(const ExecReport& other) {
+  jobs = std::max(jobs, other.jobs);
+  max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
+  tasks_run += other.tasks_run;
+  wall_ms += other.wall_ms;
+  const std::size_t base = tasks.size();
+  tasks.insert(tasks.end(), other.tasks.begin(), other.tasks.end());
+  for (std::size_t i = base; i < tasks.size(); ++i) tasks[i].index = i;
+}
+
+std::string ExecReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"jobs\":" << jobs << ",\"max_queue_depth\":" << max_queue_depth
+     << ",\"tasks_run\":" << tasks_run << ",\"wall_ms\":" << wall_ms
+     << ",\"scenarios\":[";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"index\":" << tasks[i].index << ",\"label\":\""
+       << detect::json_escape(tasks[i].label) << "\",\"wall_ms\":"
+       << tasks[i].wall_ms << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace nidkit::harness

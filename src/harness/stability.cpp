@@ -7,20 +7,39 @@ namespace nidkit::harness {
 
 namespace {
 
-/// Mined relation set for one seed (union over the config's topologies).
-mining::RelationSet mine_one_seed(const ospf::BehaviorProfile& profile,
-                                  const ExperimentConfig& config,
-                                  const mining::KeyScheme& scheme,
-                                  std::uint64_t seed) {
-  mining::CausalMiner miner(config.miner_config());
-  mining::RelationSet out;
-  for (const auto& spec : config.topologies) {
-    Scenario s = config.scenario_for(spec, seed);
-    s.ospf_profile = profile;
-    const ScenarioResult run = run_scenario(s);
-    out.merge(miner.mine(run.log, scheme));
+/// Mined relation sets for every seed — one fan-out over the flattened
+/// (seed × topology) scenario list, then per-seed unions in canonical
+/// topology order, matching the serial per-seed loop bit-for-bit.
+std::vector<mining::RelationSet> mine_per_seed(
+    const ospf::BehaviorProfile& profile, const ExperimentConfig& config,
+    const mining::KeyScheme& scheme) {
+  const mining::CausalMiner miner(config.miner_config());
+
+  std::vector<Scenario> scenarios;
+  std::vector<std::string> labels;
+  for (const auto seed : config.seeds) {
+    for (const auto& spec : config.topologies) {
+      Scenario s = config.scenario_for(spec, seed);
+      s.ospf_profile = profile;
+      scenarios.push_back(std::move(s));
+      labels.push_back(profile.name + "/" + spec.name() + "/s" +
+                       std::to_string(seed));
+    }
   }
-  return out;
+
+  ParallelExecutor executor(config.jobs);
+  auto sets =
+      executor.run_indexed(scenarios.size(), labels, [&](std::size_t i) {
+        const ScenarioResult run = run_scenario(scenarios[i]);
+        return miner.mine(run.log, scheme);
+      });
+
+  std::vector<mining::RelationSet> per_seed(config.seeds.size());
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < config.seeds.size(); ++s)
+    for (std::size_t t = 0; t < config.topologies.size(); ++t)
+      per_seed[s].merge(sets[next++]);
+  return per_seed;
 }
 
 }  // namespace
@@ -31,8 +50,7 @@ std::vector<CellStability> ospf_relation_stability(
   using Key = std::pair<mining::RelationDirection, mining::RelationCell>;
   std::map<Key, CellStability> acc;
 
-  for (const auto seed : config.seeds) {
-    const auto set = mine_one_seed(profile, config, scheme, seed);
+  for (const auto& set : mine_per_seed(profile, config, scheme)) {
     for (const auto dir : {mining::RelationDirection::kSendToRecv,
                            mining::RelationDirection::kRecvToSend}) {
       for (const auto& [cell, stats] : set.cells(dir)) {

@@ -35,9 +35,17 @@ MinedPairs CausalMiner::mine_pairs(const trace::TraceLog& log) const {
                recs[responses[cursor]].time < earliest)
           ++cursor;
         if (cursor == responses.size()) break;
-        const auto& resp = recs[responses[cursor]];
-        if (capped && resp.time > earliest + config_.horizon) continue;
-        sink.push_back(CausalPair{si, responses[cursor]});
+        const SimTime first_time = recs[responses[cursor]].time;
+        if (capped && first_time > earliest + config_.horizon) continue;
+        // "First packet past the threshold", generalized to simultaneous
+        // arrivals: all records tied at the earliest qualifying timestamp
+        // are attributed. Co-arrivals are indistinguishable to a capture,
+        // so taking the whole tie set makes the mined relations invariant
+        // under reordering of equal-time trace events.
+        for (std::size_t j = cursor; j < responses.size() &&
+                                     recs[responses[j]].time == first_time;
+             ++j)
+          sink.push_back(CausalPair{si, responses[j]});
       }
     };
     attribute(sends, recvs, out.send_to_recv);

@@ -4,7 +4,10 @@
 // packet trace: for every packet a router sent (received), the first packet
 // the same router received (sent) at least `window_factor * TDelay` later —
 // but no later than `horizon` past that threshold — is taken as causally
-// related. The TDelay is injected by the chaos controller, exactly as the
+// related. Packets tied at that earliest qualifying timestamp are all
+// attributed (co-arrivals are indistinguishable to a capture), so mined
+// relations are invariant under reordering of equal-time trace events.
+// The TDelay is injected by the chaos controller, exactly as the
 // paper injects it with Pumba; the 2× factor covers the stimulus's own
 // one-way delay plus the response's.
 //

@@ -4,6 +4,24 @@
 
 namespace nidkit::mining {
 
+namespace {
+
+/// Canonical "earlier evidence" order: observation time, then trace
+/// position. Using the full triple (not just the time) makes add() and
+/// merge() insensitive to the order observations arrive in, which in turn
+/// makes set union associative and commutative — the property the
+/// parallel executor's deterministic merge and the tie-reordering
+/// invariance tests rely on.
+bool earlier_evidence(SimTime when, std::size_t stimulus_index,
+                      std::size_t response_index, const RelationStats& stats) {
+  if (when != stats.first_seen) return when < stats.first_seen;
+  if (stimulus_index != stats.example_stimulus)
+    return stimulus_index < stats.example_stimulus;
+  return response_index < stats.example_response;
+}
+
+}  // namespace
+
 void RelationSet::add(RelationDirection dir, const RelationCell& cell,
                       SimTime when, std::size_t stimulus_index,
                       std::size_t response_index) {
@@ -11,7 +29,8 @@ void RelationSet::add(RelationDirection dir, const RelationCell& cell,
                                                       : recv_to_send_;
   auto [it, inserted] = table.try_emplace(cell);
   auto& stats = it->second;
-  if (inserted || when < stats.first_seen) {
+  if (inserted ||
+      earlier_evidence(when, stimulus_index, response_index, stats)) {
     stats.first_seen = when;
     stats.example_stimulus = stimulus_index;
     stats.example_response = response_index;
@@ -41,7 +60,8 @@ void RelationSet::merge(const RelationSet& other) {
       auto [it, inserted] = mine.try_emplace(cell, stats);
       if (!inserted) {
         it->second.count += stats.count;
-        if (stats.first_seen < it->second.first_seen) {
+        if (earlier_evidence(stats.first_seen, stats.example_stimulus,
+                             stats.example_response, it->second)) {
           it->second.first_seen = stats.first_seen;
           it->second.example_stimulus = stats.example_stimulus;
           it->second.example_response = stats.example_response;

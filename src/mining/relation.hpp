@@ -55,7 +55,13 @@ class RelationSet {
   const RelationStats* find(RelationDirection dir,
                             const RelationCell& cell) const;
 
-  /// Union with another set (counts accumulate, earliest example kept).
+  /// Union with another set. Counts accumulate; the surviving example is
+  /// the one with the canonically earliest (first_seen, stimulus index,
+  /// response index) evidence. The total order on evidence makes merge
+  /// associative and commutative — merging per-scenario sets in any
+  /// grouping or order yields the same set, which is what lets the
+  /// parallel executor's canonical-order merge match the serial loop nest
+  /// bit-for-bit.
   void merge(const RelationSet& other);
 
   const std::map<RelationCell, RelationStats>& cells(

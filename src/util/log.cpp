@@ -4,7 +4,7 @@
 
 namespace nidkit {
 
-LogLevel Log::level_ = LogLevel::kOff;
+std::atomic<LogLevel> Log::level_{LogLevel::kOff};
 
 void Log::write(LogLevel level, SimTime when, const std::string& tag,
                 const std::string& message) {

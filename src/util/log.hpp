@@ -2,10 +2,13 @@
 //
 // Logging is global-off by default: experiment runs are silent and the
 // harness enables protocol-level logging only when a scenario sets
-// `verbose`. The logger is not thread-safe by design — the simulator is
-// single-threaded and deterministic.
+// `verbose`. Each simulation stays single-threaded, but the parallel
+// executor runs several simulations at once, so the level gate is an
+// atomic: concurrent enabled() checks are race-free (set_level is still
+// meant to be called before scenarios start).
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -18,9 +21,13 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 /// Process-wide log configuration.
 class Log {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel level) { level_ = level; }
-  static bool enabled(LogLevel level) { return level >= level_; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  static bool enabled(LogLevel level) {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Emits one line: "[   12.345s] [ospf] message". `when` may be the
   /// current simulation time; pass kSimStart for time-less messages.
@@ -28,7 +35,7 @@ class Log {
                     const std::string& message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace nidkit

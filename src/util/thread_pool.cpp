@@ -1,0 +1,50 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace nidkit {
+
+std::size_t default_worker_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wakeup_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool::Counters ThreadPool::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counters{tasks_run_, max_queue_depth_};
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wakeup_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      // Counted at dequeue so that by the time a task's future is ready
+      // its run is already visible in counters(); the destructor drains
+      // the queue, so dequeued == executed.
+      ++tasks_run_;
+    }
+    task();
+  }
+}
+
+}  // namespace nidkit

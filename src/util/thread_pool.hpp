@@ -1,0 +1,76 @@
+// Fixed-size worker pool for fanning out independent deterministic jobs.
+//
+// The harness runs every (topology, seed, implementation) scenario as an
+// isolated single-threaded simulation; the pool only provides the fan-out.
+// There is deliberately no work stealing and no dynamic sizing: submission
+// order is FIFO, results travel back through futures, and all ordering
+// decisions (merge order, report order) are made by the caller so that the
+// parallel path can be bit-identical to the serial one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace nidkit {
+
+/// Worker count used when a caller asks for "as many as the hardware
+/// allows": hardware_concurrency, never less than 1.
+std::size_t default_worker_count();
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` threads (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains the queue — every submitted task still runs — then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Observability counters for the experiment report.
+  struct Counters {
+    std::uint64_t tasks_run = 0;
+    std::size_t max_queue_depth = 0;  ///< high-water mark of queued tasks
+  };
+  Counters counters() const;
+
+  /// Enqueues `fn` and returns the future for its result. Exceptions
+  /// thrown by `fn` surface through the future.
+  template <typename Fn>
+  auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+      if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+    }
+    wakeup_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wakeup_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t max_queue_depth_ = 0;
+  std::uint64_t tasks_run_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace nidkit

@@ -50,6 +50,26 @@ TEST(Config, ScenarioForCopiesExperimentKnobs) {
   EXPECT_EQ(s.lsa_refresh, SimDuration{31s});
 }
 
+TEST(Config, JobsIsAnExecutorKnobNotAScenarioKnob) {
+  ExperimentConfig c;
+  // 0 = "use the hardware"; the executor resolves it, the scenarios never
+  // see it. Changing jobs must not change any scenario parameter — that
+  // is half of the determinism contract (the other half is the canonical
+  // merge order, pinned in parallel_executor_test.cpp).
+  EXPECT_EQ(c.jobs, 0u);
+  c.jobs = 8;
+  const auto spec = topo::Spec{topo::Kind::kRing, 4};
+  const auto s8 = c.scenario_for(spec, 42);
+  c.jobs = 1;
+  const auto s1 = c.scenario_for(spec, 42);
+  EXPECT_EQ(s8.tdelay, s1.tdelay);
+  EXPECT_EQ(s8.link_jitter, s1.link_jitter);
+  EXPECT_DOUBLE_EQ(s8.link_loss, s1.link_loss);
+  EXPECT_EQ(s8.duration, s1.duration);
+  EXPECT_EQ(s8.lsa_refresh, s1.lsa_refresh);
+  EXPECT_EQ(s8.seed, s1.seed);
+}
+
 TEST(Config, PaperDefaultsMatchThePaper) {
   ExperimentConfig c;
   EXPECT_EQ(c.tdelay, SimDuration{900ms});       // §3: TDelay = 900 ms

@@ -1,0 +1,196 @@
+// Determinism regression suite for the parallel experiment executor.
+//
+// The executor's contract (parallel.hpp) is that for ANY worker count the
+// merged relation sets, audit output and report JSON are bit-identical to
+// the serial path. These tests pin that contract for every experiment
+// entry point that fans out: mine, audit, stability, and the TDelay
+// sweep.
+#include "harness/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "detect/json.hpp"
+#include "harness/experiment.hpp"
+#include "harness/stability.hpp"
+
+namespace nidkit::harness {
+namespace {
+
+using namespace std::chrono_literals;
+using mining::RelationDirection;
+
+ExperimentConfig small_config(std::size_t jobs) {
+  ExperimentConfig c;
+  c.topologies = {topo::Spec{topo::Kind::kLinear, 2},
+                  topo::Spec{topo::Kind::kMesh, 3}};
+  c.seeds = {1, 2};
+  c.duration = 120s;
+  c.jobs = jobs;
+  return c;
+}
+
+void expect_equal_sets(const mining::RelationSet& a,
+                       const mining::RelationSet& b) {
+  for (const auto dir :
+       {RelationDirection::kSendToRecv, RelationDirection::kRecvToSend}) {
+    const auto& ca = a.cells(dir);
+    const auto& cb = b.cells(dir);
+    ASSERT_EQ(ca.size(), cb.size());
+    auto ita = ca.begin();
+    auto itb = cb.begin();
+    for (; ita != ca.end(); ++ita, ++itb) {
+      EXPECT_EQ(ita->first, itb->first);
+      EXPECT_EQ(ita->second.count, itb->second.count)
+          << ita->first.stimulus << "->" << ita->first.response;
+      EXPECT_EQ(ita->second.first_seen, itb->second.first_seen);
+      EXPECT_EQ(ita->second.example_stimulus, itb->second.example_stimulus);
+      EXPECT_EQ(ita->second.example_response, itb->second.example_response);
+    }
+  }
+}
+
+TEST(ParallelExecutor, MineOspfParallelMatchesSerial) {
+  const auto serial = mine_ospf(ospf::frr_profile(), small_config(1),
+                                mining::ospf_type_scheme());
+  const auto parallel = mine_ospf(ospf::frr_profile(), small_config(4),
+                                  mining::ospf_type_scheme());
+  expect_equal_sets(serial, parallel);
+}
+
+TEST(ParallelExecutor, AuditParallelMatchesSerialByteForByte) {
+  const std::vector<ospf::BehaviorProfile> impls = {ospf::frr_profile(),
+                                                    ospf::bird_profile()};
+  const auto serial =
+      audit_ospf(impls, small_config(1), mining::ospf_type_scheme());
+  const auto parallel =
+      audit_ospf(impls, small_config(4), mining::ospf_type_scheme());
+
+  ASSERT_EQ(serial.names, parallel.names);
+  for (const auto& name : serial.names)
+    expect_equal_sets(serial.by_impl.at(name), parallel.by_impl.at(name));
+
+  ASSERT_EQ(serial.discrepancies.size(), parallel.discrepancies.size());
+  for (std::size_t i = 0; i < serial.discrepancies.size(); ++i) {
+    EXPECT_EQ(serial.discrepancies[i].cell, parallel.discrepancies[i].cell);
+    EXPECT_EQ(serial.discrepancies[i].present_in,
+              parallel.discrepancies[i].present_in);
+    EXPECT_EQ(serial.discrepancies[i].absent_in,
+              parallel.discrepancies[i].absent_in);
+    EXPECT_EQ(serial.discrepancies[i].evidence.count,
+              parallel.discrepancies[i].evidence.count);
+  }
+
+  // The end-to-end artifact: the report JSON must be byte-identical.
+  EXPECT_EQ(detect::to_json(serial.named(), serial.discrepancies),
+            detect::to_json(parallel.named(), parallel.discrepancies));
+}
+
+TEST(ParallelExecutor, OversubscribedJobsStillMatch) {
+  // More workers than scenarios: the merge order must still be canonical.
+  const auto serial = mine_ospf(ospf::bird_profile(), small_config(1),
+                                mining::ospf_type_scheme());
+  const auto parallel = mine_ospf(ospf::bird_profile(), small_config(16),
+                                  mining::ospf_type_scheme());
+  expect_equal_sets(serial, parallel);
+}
+
+TEST(ParallelExecutor, StabilityParallelMatchesSerial) {
+  const auto serial = ospf_relation_stability(
+      ospf::frr_profile(), small_config(1), mining::ospf_type_scheme());
+  const auto parallel = ospf_relation_stability(
+      ospf::frr_profile(), small_config(4), mining::ospf_type_scheme());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].direction, parallel[i].direction);
+    EXPECT_EQ(serial[i].cell, parallel[i].cell);
+    EXPECT_EQ(serial[i].seeds_seen, parallel[i].seeds_seen);
+    EXPECT_EQ(serial[i].total_count, parallel[i].total_count);
+  }
+}
+
+TEST(ParallelExecutor, TdelaySweepParallelMatchesSerial) {
+  const std::vector<SimDuration> tds = {0ms, 900ms};
+  const auto serial = tdelay_sweep(ospf::frr_profile(), small_config(1), tds,
+                                   mining::ospf_type_scheme());
+  const auto parallel = tdelay_sweep(ospf::frr_profile(), small_config(4),
+                                     tds, mining::ospf_type_scheme());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].tdelay, parallel[i].tdelay);
+    // Partial sums accumulate in canonical order on one thread, so even
+    // the floating-point ratios must match exactly, not approximately.
+    EXPECT_EQ(serial[i].precision, parallel[i].precision);
+    EXPECT_EQ(serial[i].recall, parallel[i].recall);
+    EXPECT_EQ(serial[i].mined_cells, parallel[i].mined_cells);
+    EXPECT_EQ(serial[i].unobserved_cells, parallel[i].unobserved_cells);
+    EXPECT_EQ(serial[i].spurious_cells, parallel[i].spurious_cells);
+  }
+}
+
+TEST(ParallelExecutor, ExecReportListsEveryScenarioCanonically) {
+  const std::vector<ospf::BehaviorProfile> impls = {ospf::frr_profile(),
+                                                    ospf::bird_profile()};
+  const auto config = small_config(4);
+  const auto audit = audit_ospf(impls, config, mining::ospf_type_scheme());
+  const std::size_t expected =
+      impls.size() * config.topologies.size() * config.seeds.size();
+  ASSERT_EQ(audit.exec.tasks.size(), expected);
+  EXPECT_EQ(audit.exec.tasks_run, expected);
+  EXPECT_EQ(audit.exec.jobs, 4u);
+  for (std::size_t i = 0; i < audit.exec.tasks.size(); ++i) {
+    EXPECT_EQ(audit.exec.tasks[i].index, i);
+    EXPECT_FALSE(audit.exec.tasks[i].label.empty());
+  }
+  // Canonical order is (implementation, topology, seed): frr first.
+  EXPECT_EQ(audit.exec.tasks.front().label.rfind("frr/", 0), 0u);
+  EXPECT_EQ(audit.exec.tasks.back().label.rfind("bird/", 0), 0u);
+  // Telemetry JSON is well-formed enough to name every scenario.
+  const auto json = audit.exec.to_json();
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(json.find(audit.exec.tasks.front().label), std::string::npos);
+}
+
+TEST(ParallelExecutor, RunIndexedReturnsCanonicalOrder) {
+  ParallelExecutor exec(4);
+  const auto results = exec.run_indexed(
+      40, {}, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 40u);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], i * i);
+  EXPECT_EQ(exec.report().tasks_run, 40u);
+  EXPECT_EQ(exec.report().tasks.size(), 40u);
+}
+
+TEST(ParallelExecutor, JobsZeroMeansHardware) {
+  ParallelExecutor exec(0);
+  EXPECT_EQ(exec.jobs(), default_worker_count());
+}
+
+TEST(ParallelExecutor, AccumulateRebasesIndices) {
+  ExecReport a;
+  a.jobs = 2;
+  a.tasks_run = 3;
+  a.wall_ms = 10;
+  a.tasks = {{0, "x", 1}, {1, "y", 2}, {2, "z", 3}};
+  ExecReport b;
+  b.jobs = 4;
+  b.tasks_run = 2;
+  b.wall_ms = 5;
+  b.max_queue_depth = 7;
+  b.tasks = {{0, "p", 4}, {1, "q", 5}};
+  a.accumulate(b);
+  EXPECT_EQ(a.jobs, 4u);
+  EXPECT_EQ(a.tasks_run, 5u);
+  EXPECT_EQ(a.wall_ms, 15);
+  EXPECT_EQ(a.max_queue_depth, 7u);
+  ASSERT_EQ(a.tasks.size(), 5u);
+  EXPECT_EQ(a.tasks[3].index, 3u);
+  EXPECT_EQ(a.tasks[3].label, "p");
+  EXPECT_EQ(a.tasks[4].index, 4u);
+}
+
+}  // namespace
+}  // namespace nidkit::harness

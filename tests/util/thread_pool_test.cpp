@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace nidkit {
+namespace {
+
+TEST(ThreadPool, DefaultWorkerCountIsAtLeastOne) {
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST(ThreadPool, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+}
+
+TEST(ThreadPool, FuturesCarryResultsBack) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, EveryTaskRunsEvenWithOneWorker) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 1; i <= 100; ++i)
+      pool.submit([&sum, i] { sum += i; });
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("scenario failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, AnExceptionDoesNotKillTheWorker) {
+  ThreadPool pool(1);
+  pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto after = pool.submit([] { return 42; });
+  EXPECT_EQ(after.get(), 42);
+}
+
+TEST(ThreadPool, CountersTrackTasksAndQueueDepth) {
+  constexpr int kTasks = 24;
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }));
+  for (auto& f : futures) f.get();
+  const auto counters = pool.counters();
+  EXPECT_EQ(counters.tasks_run, static_cast<std::uint64_t>(kTasks));
+  // With 2 workers draining 1 ms tasks, the queue must have backed up at
+  // some point; the high-water mark can never exceed the submission count.
+  EXPECT_GE(counters.max_queue_depth, 1u);
+  EXPECT_LE(counters.max_queue_depth, static_cast<std::size_t>(kTasks));
+}
+
+TEST(ThreadPool, ManyWorkersManyTasks) {
+  ThreadPool pool(8);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([i] { return i; }));
+  std::size_t sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 200u * 199u / 2);
+  EXPECT_EQ(pool.counters().tasks_run, 200u);
+}
+
+TEST(ThreadPool, MoveOnlyResultsWork) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] {
+    auto v = std::make_unique<int>(99);
+    return v;
+  });
+  EXPECT_EQ(*f.get(), 99);
+}
+
+}  // namespace
+}  // namespace nidkit
