@@ -42,6 +42,12 @@ std::optional<Args> parse_args(const std::vector<std::string>& tokens,
       err << "unexpected positional argument: " << tok << "\n";
       return std::nullopt;
     }
+    // Boolean switches: presence means "on", no value token follows.
+    if (tok == "--keep-bytes") {
+      args.flags[tok.substr(2)] = "1";
+      i += 1;
+      continue;
+    }
     if (i + 1 >= tokens.size()) {
       err << "flag " << tok << " needs a value\n";
       return std::nullopt;
@@ -73,11 +79,12 @@ int usage(std::ostream& out) {
          "             [--scheme type|gtsn|state|lsatype] [--topos paper|extended]\n"
          "             [--format text|json]\n"
          "             [--tdelay-ms 900] [--seeds 1,2,3] [--duration-s 180]\n"
-         "             [--jobs N] [--stats file.json|inline]\n"
+         "             [--jobs N] [--stats file.json|inline] [--keep-bytes]\n"
          "  trace      --impl frr [--topo mesh-5] [--seed 1]\n"
          "             [--out trace.txt | --pcap capture.pcap]\n"
          "  mine       --in trace.txt [--tdelay-ms 900] [--scheme type]\n"
          "  sweep      [--impl frr] [--max-ms 1500] [--step-ms 150] [--jobs N]\n"
+         "             [--keep-bytes]\n"
          "  inject     --target frr|bird|strict --stimulus LSU-stale|LSR|...\n"
          "  validate   --impls frr,bird [--scheme gtsn] : mine flags, then\n"
          "             confirm each by crafted-packet injection\n"
@@ -86,7 +93,9 @@ int usage(std::ostream& out) {
          "\n"
          "  --jobs N parallelizes scenario execution over N workers\n"
          "  (default: hardware concurrency; results are identical for\n"
-         "  every N). --stats writes executor wall-time/queue telemetry.\n";
+         "  every N). --stats writes executor wall-time/queue telemetry.\n"
+         "  Audit/sweep traces keep only protocol digests; --keep-bytes\n"
+         "  retains raw wire bytes too (for pcap export of audit runs).\n";
   return 0;
 }
 
@@ -166,6 +175,10 @@ std::optional<harness::ExperimentConfig> config_from(const Args& args,
     // 0 keeps the default: as many workers as the hardware allows.
     config.jobs = static_cast<std::size_t>(*jobs);
   }
+  // Experiment pipelines drop raw wire bytes from trace records by default
+  // (mining reads digests only); --keep-bytes opts back in, e.g. to pcap-
+  // export audit traces.
+  config.keep_bytes = args.has("keep-bytes");
   return config;
 }
 

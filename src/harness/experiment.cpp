@@ -10,7 +10,7 @@ namespace nidkit::harness {
 // for executor-level knobs that do not describe a single scenario, like
 // `jobs` — document the exemption there. Then update the expected size.
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(ExperimentConfig) == 112,
+static_assert(sizeof(ExperimentConfig) == 120,
               "ExperimentConfig grew: thread the new knob through "
               "scenario_for (or exempt it) and update this guard");
 #endif

@@ -40,6 +40,11 @@ struct ExperimentConfig {
   /// scenarios. 0 = hardware_concurrency, 1 = the serial reference path.
   /// Results are bit-identical for every value (see parallel.hpp).
   std::size_t jobs = 0;
+  /// Keep raw wire bytes in trace records. Off by default in experiment
+  /// pipelines: mining reads digests only, so dropping the byte buffers
+  /// changes nothing in the reports while shrinking sweep memory. CLI
+  /// --keep-bytes flips it (needed for pcap export of audit traces).
+  bool keep_bytes = false;
 
   mining::MinerConfig miner_config() const {
     mining::MinerConfig m;
@@ -63,6 +68,7 @@ struct ExperimentConfig {
     s.duration = duration;
     s.lsa_refresh = lsa_refresh;
     s.seed = seed;
+    s.keep_bytes = keep_bytes;
     return s;
   }
 };

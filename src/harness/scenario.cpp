@@ -31,6 +31,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   const topo::Built built = topo::build(net, scenario.topology);
 
   trace::TraceLog log;
+  log.set_keep_bytes(scenario.keep_bytes);
   log.attach(net);
 
   netsim::ChaosController chaos(net);

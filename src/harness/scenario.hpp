@@ -64,6 +64,12 @@ struct Scenario {
   /// Record the observing router's max neighbor FSM state on every packet
   /// event (needed by the state-conditioned key scheme).
   bool state_probe = true;
+
+  /// Keep raw wire bytes in each trace record. On by default so direct
+  /// scenario runs can dump/save/pcap-export their traces; the audit and
+  /// sweep pipelines turn it off (digests are all the miner reads) unless
+  /// the user opts back in with --keep-bytes.
+  bool keep_bytes = true;
 };
 
 /// Everything a run produces. Routers and network are torn down; the trace

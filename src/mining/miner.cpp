@@ -11,17 +11,22 @@ MinedPairs CausalMiner::mine_pairs(const trace::TraceLog& log) const {
   const SimDuration threshold = config_.threshold();
   const bool capped = config_.horizon.count() > 0;
 
-  // Group record indices per node; capture order is time order.
-  std::map<netsim::NodeId, std::vector<std::size_t>> per_node;
-  for (std::size_t i = 0; i < recs.size(); ++i)
-    per_node[recs[i].node].push_back(i);
-
-  for (const auto& [node, idx] : per_node) {
+  // Per-node grouping comes straight from the trace's maintained index
+  // (ascending node id, matching the std::map iteration this replaces);
+  // the direction split buffers are reused across nodes so a whole mine
+  // costs two vector high-water marks instead of a map of vectors.
+  std::vector<std::size_t> sends;
+  std::vector<std::size_t> recvs;
+  for (netsim::NodeId node = 0; node < log.node_index_extent(); ++node) {
+    const auto& idx = log.node_records(node);
+    if (idx.empty()) continue;
     // Split the node's records by direction, preserving time order, so the
     // "first opposite-direction record past the threshold" is a single
     // monotone binary search per stimulus.
-    std::vector<std::size_t> sends;
-    std::vector<std::size_t> recvs;
+    sends.clear();
+    recvs.clear();
+    sends.reserve(idx.size());
+    recvs.reserve(idx.size());
     for (const std::size_t i : idx)
       (recs[i].is_send() ? sends : recvs).push_back(i);
 

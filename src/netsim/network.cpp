@@ -130,6 +130,9 @@ void Network::send(NodeId node, IfaceIndex iface, Frame frame) {
       ++frames_dropped_;
       continue;
     }
+    // deliver copies the frame into its in-flight closure, but a Frame
+    // copy is now a refcount bump — the payload bytes are shared across
+    // every fan-out (and duplicate) delivery of this transmission.
     deliver(seg_id, att, frame, serialize);
     if (seg.fault.duplicate > 0 && seg.rng.chance(seg.fault.duplicate)) {
       deliver(seg_id, att, frame, serialize);
@@ -137,7 +140,7 @@ void Network::send(NodeId node, IfaceIndex iface, Frame frame) {
   }
 }
 
-void Network::deliver(SegmentId segment, Attachment& to, Frame frame,
+void Network::deliver(SegmentId segment, Attachment& to, const Frame& frame,
                       SimDuration extra) {
   auto& seg = segments_.at(segment);
   SimDuration delay = seg.fault.delay + extra;
@@ -157,7 +160,7 @@ void Network::deliver(SegmentId segment, Attachment& to, Frame frame,
   const NodeId dst_node = to.node;
   const IfaceIndex dst_iface = to.iface;
   sim_.schedule_at(arrival, [this, segment, dst_node, dst_iface,
-                             f = std::move(frame)]() {
+                             f = frame]() {
     ++frames_delivered_;
     if (tap_) {
       tap_(TapEvent{sim_.now(), dst_node, dst_iface, segment,

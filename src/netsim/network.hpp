@@ -20,6 +20,7 @@
 #include "netsim/simulator.hpp"
 #include "util/ip.hpp"
 #include "util/rng.hpp"
+#include "util/shared_bytes.hpp"
 #include "util/time.hpp"
 
 namespace nidkit::netsim {
@@ -38,7 +39,10 @@ struct Frame {
   Ipv4Addr src;
   Ipv4Addr dst;
   std::uint8_t protocol = 0;  ///< IP protocol number (89 = OSPF, 17 = UDP).
-  std::vector<std::uint8_t> payload;
+  /// Encoded once per transmission, then shared by refcount across every
+  /// LAN fan-out delivery, in-flight delivery closure, and trace record —
+  /// copying a Frame never copies the wire bytes.
+  util::SharedBytes payload;
 
   /// Unique id assigned by Network::send (never 0). LAN fan-out deliveries
   /// of one transmission share the id.
@@ -164,7 +168,7 @@ class Network {
 
   IfaceIndex attach(NodeId node, SegmentId segment, Ipv4Addr addr,
                     std::uint8_t prefix_len);
-  void deliver(SegmentId segment, Attachment& to, Frame frame,
+  void deliver(SegmentId segment, Attachment& to, const Frame& frame,
                SimDuration extra);
 
   Simulator& sim_;

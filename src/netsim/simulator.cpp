@@ -1,14 +1,38 @@
 #include "netsim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace nidkit::netsim {
 
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.push_back(TimerSlot{});
+  // The freelist can never hold more entries than the slab has slots, so
+  // matching its capacity here keeps release_slot allocation-free even
+  // when every in-flight timer drains back at once.
+  free_slots_.reserve(slots_.capacity());
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  auto& s = slots_[slot];
+  ++s.generation;  // invalidate outstanding handles
+  s.cancelled = false;
+  free_slots_.push_back(slot);
+}
+
 TimerHandle Simulator::schedule_at(SimTime when, Action action) {
   assert(when >= now_ && "cannot schedule into the past");
-  auto state = std::make_shared<TimerState>();
-  queue_.push(Event{when, next_seq_++, std::move(action), state});
-  return TimerHandle{std::move(state)};
+  const std::uint32_t slot = acquire_slot();
+  const std::uint32_t generation = slots_[slot].generation;
+  heap_.push_back(Event{when, next_seq_++, slot, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return TimerHandle{this, slot, generation};
 }
 
 TimerHandle Simulator::schedule(SimDuration delay, Action action) {
@@ -16,11 +40,13 @@ TimerHandle Simulator::schedule(SimDuration delay, Action action) {
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the event is copied out then popped.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.cancelled->cancelled) continue;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    const bool cancelled = slots_[ev.slot].cancelled;
+    release_slot(ev.slot);
+    if (cancelled) continue;
     now_ = ev.when;
     ++executed_;
     ev.action();
@@ -30,8 +56,8 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
     if (top.when > deadline) break;
     step();
   }

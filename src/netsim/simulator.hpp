@@ -5,47 +5,47 @@
 // and harness probes are all events. The insertion-sequence tiebreak makes
 // simultaneous events execute in a fixed order, so a (scenario, seed) pair
 // always produces an identical trace.
+//
+// The hot path is allocation-free at steady state: actions live in
+// util::InlineAction's small buffer (no heap for any closure the engines
+// create), and timer bookkeeping uses a slab of generation-counted slots
+// recycled through a freelist, so schedule/cancel never allocate once the
+// slab and event heap have grown to the workload's high-water mark.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "util/inline_action.hpp"
 #include "util/time.hpp"
 
 namespace nidkit::netsim {
 
-using Action = std::function<void()>;
-
-namespace detail {
-struct TimerState {
-  bool cancelled = false;
-};
-}  // namespace detail
+using Action = util::InlineAction;
 
 /// Handle to a scheduled event. Cancelling is O(1): the event stays queued
 /// but is skipped when it reaches the head. A default-constructed handle is
-/// inert.
+/// inert. Handles weakly reference a slab slot via a generation counter, so
+/// a handle held past its event's execution is harmless — but a handle must
+/// not outlive the Simulator it came from.
 class TimerHandle {
  public:
   TimerHandle() = default;
 
   /// Prevents the event from running. Safe to call repeatedly or after the
   /// event has already fired.
-  void cancel() {
-    if (state_) state_->cancelled = true;
-  }
+  void cancel();
 
-  bool valid() const { return state_ != nullptr; }
+  bool valid() const { return sim_ != nullptr; }
 
  private:
   friend class Simulator;
-  using TimerState = detail::TimerState;
-  explicit TimerHandle(std::shared_ptr<TimerState> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<TimerState> state_;
+  TimerHandle(class Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), generation_(gen) {}
+
+  class Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// The event loop. Not thread-safe; the whole simulation is single-threaded.
@@ -70,18 +70,28 @@ class Simulator {
   /// (protocol engines re-arm periodic timers forever; use run_until).
   void run();
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
  private:
-  using TimerState = detail::TimerState;
+  friend class TimerHandle;
+
+  /// Cancellation state shared between a queued event and its handle. The
+  /// generation counter bumps every time the slot is recycled, so a stale
+  /// handle (event already fired) can never cancel the slot's next tenant.
+  struct TimerSlot {
+    std::uint32_t generation = 0;
+    bool cancelled = false;
+  };
 
   struct Event {
     SimTime when;
     std::uint64_t seq;
+    std::uint32_t slot;
     Action action;
-    std::shared_ptr<TimerState> cancelled;
   };
+  /// Heap comparator: the "largest" element (heap front) is the earliest
+  /// (time, seq) — identical ordering to the previous std::priority_queue.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -89,10 +99,24 @@ class Simulator {
     }
   };
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
   SimTime now_{kSimStart};
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Binary heap over a plain vector (std::push_heap/pop_heap) rather than
+  /// std::priority_queue: pop moves the move-only Action out instead of
+  /// copying, and the backing storage is reusable and reservable.
+  std::vector<Event> heap_;
+  std::vector<TimerSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
+
+inline void TimerHandle::cancel() {
+  if (sim_ == nullptr) return;
+  auto& slot = sim_->slots_[slot_];
+  if (slot.generation == generation_) slot.cancelled = true;
+}
 
 }  // namespace nidkit::netsim

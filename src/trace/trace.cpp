@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
 
 #include "packet/bgp_packet.hpp"
 #include "packet/ospf_packet.hpp"
@@ -85,22 +84,25 @@ void TraceLog::on_tap(const netsim::TapEvent& ev) {
   rec.frame_id = ev.frame->id;
   rec.caused_by = ev.frame->caused_by;
   if (prober_) rec.observer_state = prober_(ev.node);
+  // Sharing, not copying: the record holds another reference to the
+  // frame's payload cell.
   if (keep_bytes_) rec.bytes = ev.frame->payload;
   rec.digest = digest_frame(*ev.frame);
+  index_record(rec.node, records_.size());
   records_.push_back(std::move(rec));
 }
 
-std::vector<std::size_t> TraceLog::node_records(netsim::NodeId node) const {
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < records_.size(); ++i)
-    if (records_[i].node == node) out.push_back(i);
-  return out;
+const std::vector<std::size_t>& TraceLog::node_records(
+    netsim::NodeId node) const {
+  static const std::vector<std::size_t> kEmpty;
+  return node < by_node_.size() ? by_node_[node] : kEmpty;
 }
 
 std::size_t TraceLog::observed_nodes() const {
-  std::set<netsim::NodeId> nodes;
-  for (const auto& r : records_) nodes.insert(r.node);
-  return nodes.size();
+  std::size_t n = 0;
+  for (const auto& idx : by_node_)
+    if (!idx.empty()) ++n;
+  return n;
 }
 
 void TraceLog::dump(std::ostream& os, const netsim::Network& net) const {
@@ -175,20 +177,22 @@ Result<TraceLog> TraceLog::load(std::istream& is) {
         if (c >= 'a' && c <= 'f') return c - 'a' + 10;
         return -1;
       };
-      r.bytes.reserve(hex.size() / 2);
+      std::vector<std::uint8_t> bytes;
+      bytes.reserve(hex.size() / 2);
       for (std::size_t k = 0; k < hex.size(); k += 2) {
         const int hi = nibble(hex[k]);
         const int lo = nibble(hex[k + 1]);
         if (hi < 0 || lo < 0)
           return fail("bad hex at record " + std::to_string(i));
-        r.bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+        bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
       }
+      r.bytes = util::SharedBytes(bytes);
       netsim::Frame reparse;
       reparse.protocol = r.protocol;
       reparse.payload = r.bytes;
       r.digest = digest_frame(reparse);
     }
-    log.records_.push_back(std::move(r));
+    log.append(std::move(r));
   }
   return log;
 }

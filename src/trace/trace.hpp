@@ -20,6 +20,8 @@
 #include "packet/ospf_types.hpp"
 #include "util/ip.hpp"
 #include "util/result.hpp"
+#include "util/shared_bytes.hpp"
+#include "util/small_vec.hpp"
 #include "util/time.hpp"
 
 namespace nidkit::trace {
@@ -36,7 +38,9 @@ struct OspfDigest {
     RouterId advertising_router;
   };
   /// LSA headers carried by the packet (LSU contents, LSAck/DBD headers).
-  std::vector<LsaDigest> lsas;
+  /// Small-inline: most packets carry 0-2 headers, so the common case
+  /// costs no allocation; a DBD summarising a big LSDB spills to heap.
+  util::SmallVec<LsaDigest, 4> lsas;
 
   /// Greatest LS sequence number carried, or INT32_MIN if none.
   std::int32_t max_seq() const;
@@ -75,7 +79,9 @@ struct PacketRecord {
   std::uint64_t frame_id = 0;   ///< network-assigned frame id
   std::uint64_t caused_by = 0;  ///< ground-truth provenance (sends only)
   int observer_state = -1;      ///< state-prober snapshot, -1 if unprobed
-  std::vector<std::uint8_t> bytes;
+  /// Raw wire bytes, sharing the frame's payload buffer (not a copy).
+  /// Empty when the log runs with keep_bytes off.
+  util::SharedBytes bytes;
   Digest digest;
 
   bool is_send() const { return direction == netsim::Direction::kSend; }
@@ -102,13 +108,21 @@ class TraceLog {
   /// Appends a record directly (used when importing externally captured
   /// traces, and by tests that need precise control over timing).
   /// Records must be appended in non-decreasing time order.
-  void append(PacketRecord record) { records_.push_back(std::move(record)); }
+  void append(PacketRecord record) {
+    index_record(record.node, records_.size());
+    records_.push_back(std::move(record));
+  }
 
   const std::vector<PacketRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
 
-  /// Indices of records observed at `node`, in time order.
-  std::vector<std::size_t> node_records(netsim::NodeId node) const;
+  /// Indices of records observed at `node`, in time order. Maintained as
+  /// records arrive, so reads are O(1) — the miner's per-node grouping
+  /// comes straight from here instead of rebuilding a map per call.
+  const std::vector<std::size_t>& node_records(netsim::NodeId node) const;
+
+  /// Largest observed node id + 1 (the per-node index's extent).
+  std::size_t node_index_extent() const { return by_node_.size(); }
 
   /// Number of distinct nodes that observed at least one packet.
   std::size_t observed_nodes() const;
@@ -126,12 +140,21 @@ class TraceLog {
   /// the wire codecs, so a trace saved by a newer build is re-validated.
   static Result<TraceLog> load(std::istream& is);
 
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    by_node_.clear();
+  }
 
  private:
   void on_tap(const netsim::TapEvent& ev);
+  void index_record(netsim::NodeId node, std::size_t index) {
+    if (node >= by_node_.size()) by_node_.resize(node + 1);
+    by_node_[node].push_back(index);
+  }
 
   std::vector<PacketRecord> records_;
+  /// Per-node record indices in time order (node ids are dense).
+  std::vector<std::vector<std::size_t>> by_node_;
   StateProber prober_;
   bool keep_bytes_ = true;
 };

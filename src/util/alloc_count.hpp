@@ -1,0 +1,23 @@
+// Global-allocation counter hook.
+//
+// Linking the companion nidkit_alloc_count library replaces the global
+// operator new/delete with counting forwarders. Binaries that need to
+// prove an allocation budget (bench/bench_simcore, the alloc-budget
+// regression test) link it and read the counter around the measured
+// region; everything else never references these symbols and pays
+// nothing. The counter is a relaxed atomic: the simulator hot path is
+// single-threaded, and cross-thread counts only need eventual totals.
+#pragma once
+
+#include <cstdint>
+
+namespace nidkit::util {
+
+/// Total calls into the counting operator new since process start.
+/// Only meaningful in binaries linked against nidkit_alloc_count.
+std::uint64_t allocation_count() noexcept;
+
+/// Total bytes requested from the counting operator new.
+std::uint64_t allocated_bytes() noexcept;
+
+}  // namespace nidkit::util

@@ -1,0 +1,118 @@
+// Move-only type-erased callable with small-buffer storage.
+//
+// The simulator schedules millions of short-lived closures per run; storing
+// them as std::function costs a heap allocation each time the capture list
+// outgrows libstdc++'s 16-byte inline buffer (a delivery closure carries a
+// whole Frame, so it always does). InlineAction widens the inline buffer to
+// fit every closure the hot path creates — timer re-arms, frame deliveries,
+// chaos windows — so steady-state scheduling never touches the heap.
+// Oversized or throwing-move callables still work; they transparently fall
+// back to a heap cell (cold paths only: nothing in src/ needs it today).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nidkit::util {
+
+class InlineAction {
+ public:
+  /// Inline capacity. Sized for the largest hot-path closure: a frame
+  /// delivery captures {Network*, SegmentId, NodeId, IfaceIndex, Frame}
+  /// (~64 bytes with a refcounted payload); a chaos window captures a
+  /// whole FaultModel (~68 bytes).
+  static constexpr std::size_t kInlineSize = 72;
+
+  InlineAction() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineAction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineAction(F&& f) {  // NOLINT: implicit, mirrors std::function
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept : ops_(other.ops_) {
+    if (ops_) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs into `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); },
+  };
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace nidkit::util

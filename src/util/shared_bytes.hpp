@@ -1,0 +1,120 @@
+// Refcounted immutable byte buffer.
+//
+// A routing packet is encoded exactly once per transmission, but the old
+// Frame carried its payload in a std::vector that was copied at every hop:
+// once per LAN fan-out delivery, once into each in-flight delivery closure,
+// and once more into every TraceLog record. SharedBytes replaces those
+// copies with a refcount bump on a single allocation (control block and
+// data in one cell). The buffer is immutable after construction, so sharing
+// is safe by construction; the refcount is atomic because traces (and the
+// frames they reference) migrate between worker threads in the parallel
+// executor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <span>
+#include <vector>
+
+namespace nidkit::util {
+
+class SharedBytes {
+ public:
+  SharedBytes() noexcept = default;
+
+  SharedBytes(std::span<const std::uint8_t> data) {  // NOLINT: implicit
+    if (!data.empty()) ctrl_ = Ctrl::make(data.data(), data.size());
+  }
+  SharedBytes(const std::vector<std::uint8_t>& v)  // NOLINT: implicit
+      : SharedBytes(std::span<const std::uint8_t>(v)) {}
+  SharedBytes(std::initializer_list<std::uint8_t> il) {
+    if (il.size() != 0) ctrl_ = Ctrl::make(il.begin(), il.size());
+  }
+
+  SharedBytes(const SharedBytes& other) noexcept : ctrl_(other.ctrl_) {
+    if (ctrl_) ctrl_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  SharedBytes(SharedBytes&& other) noexcept : ctrl_(other.ctrl_) {
+    other.ctrl_ = nullptr;
+  }
+  SharedBytes& operator=(const SharedBytes& other) noexcept {
+    SharedBytes tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  SharedBytes& operator=(SharedBytes&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~SharedBytes() { release(); }
+
+  void swap(SharedBytes& other) noexcept { std::swap(ctrl_, other.ctrl_); }
+
+  const std::uint8_t* data() const noexcept {
+    return ctrl_ ? ctrl_->bytes() : nullptr;
+  }
+  std::size_t size() const noexcept { return ctrl_ ? ctrl_->size : 0; }
+  bool empty() const noexcept { return size() == 0; }
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+
+  const std::uint8_t* begin() const noexcept { return data(); }
+  const std::uint8_t* end() const noexcept { return data() + size(); }
+
+  /// All wire codecs take spans, so frames decode without copies.
+  operator std::span<const std::uint8_t>() const noexcept {  // NOLINT
+    return {data(), size()};
+  }
+  std::span<const std::uint8_t> span() const noexcept { return *this; }
+
+  std::vector<std::uint8_t> to_vector() const {
+    return {begin(), end()};
+  }
+
+  /// Number of owners of the underlying cell (0 for the empty buffer).
+  /// Observability hook for tests; racy by nature under sharing.
+  std::size_t use_count() const noexcept {
+    return ctrl_ ? ctrl_->refs.load(std::memory_order_relaxed) : 0;
+  }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    if (a.ctrl_ == b.ctrl_) return true;
+    return a.size() == b.size() &&
+           (a.size() == 0 ||
+            std::memcmp(a.data(), b.data(), a.size()) == 0);
+  }
+
+ private:
+  struct Ctrl {
+    std::atomic<std::uint32_t> refs;
+    std::uint32_t size;
+
+    std::uint8_t* bytes() noexcept {
+      return reinterpret_cast<std::uint8_t*>(this + 1);
+    }
+
+    static Ctrl* make(const std::uint8_t* src, std::size_t n) {
+      void* raw = ::operator new(sizeof(Ctrl) + n);
+      Ctrl* c = ::new (raw) Ctrl{};
+      c->refs.store(1, std::memory_order_relaxed);
+      c->size = static_cast<std::uint32_t>(n);
+      std::memcpy(c->bytes(), src, n);
+      return c;
+    }
+  };
+
+  void release() noexcept {
+    if (ctrl_ &&
+        ctrl_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ctrl_->~Ctrl();
+      ::operator delete(ctrl_);
+    }
+    ctrl_ = nullptr;
+  }
+
+  Ctrl* ctrl_ = nullptr;
+};
+
+}  // namespace nidkit::util

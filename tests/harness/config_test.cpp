@@ -39,6 +39,7 @@ TEST(Config, ScenarioForCopiesExperimentKnobs) {
   c.link_loss = 0.007;
   c.duration = 99s;
   c.lsa_refresh = 31s;
+  c.keep_bytes = true;
   const auto s = c.scenario_for(topo::Spec{topo::Kind::kRing, 4}, 42);
   EXPECT_EQ(s.topology.kind, topo::Kind::kRing);
   EXPECT_EQ(s.topology.routers, 4u);
@@ -48,6 +49,19 @@ TEST(Config, ScenarioForCopiesExperimentKnobs) {
   EXPECT_DOUBLE_EQ(s.link_loss, 0.007);
   EXPECT_EQ(s.duration, SimDuration{99s});
   EXPECT_EQ(s.lsa_refresh, SimDuration{31s});
+  EXPECT_TRUE(s.keep_bytes);
+}
+
+TEST(Config, KeepBytesDefaultsOffForExperimentsOnForScenarios) {
+  // Direct scenario runs (trace/pcap export) need the wire bytes; the
+  // mining pipelines read digests only, so experiments drop the buffers
+  // unless the user opts in with --keep-bytes.
+  EXPECT_TRUE(Scenario{}.keep_bytes);
+  ExperimentConfig c;
+  EXPECT_FALSE(c.keep_bytes);
+  EXPECT_FALSE(c.scenario_for(topo::Spec{topo::Kind::kRing, 4}, 1).keep_bytes);
+  c.keep_bytes = true;
+  EXPECT_TRUE(c.scenario_for(topo::Spec{topo::Kind::kRing, 4}, 1).keep_bytes);
 }
 
 TEST(Config, JobsIsAnExecutorKnobNotAScenarioKnob) {
@@ -68,6 +82,7 @@ TEST(Config, JobsIsAnExecutorKnobNotAScenarioKnob) {
   EXPECT_EQ(s8.duration, s1.duration);
   EXPECT_EQ(s8.lsa_refresh, s1.lsa_refresh);
   EXPECT_EQ(s8.seed, s1.seed);
+  EXPECT_EQ(s8.keep_bytes, s1.keep_bytes);
 }
 
 TEST(Config, PaperDefaultsMatchThePaper) {

@@ -11,7 +11,7 @@ trace::PacketRecord ospf_record(std::uint8_t pkt_type,
   trace::PacketRecord r;
   trace::OspfDigest d;
   d.pkt_type = pkt_type;
-  d.lsas = std::move(lsas);
+  for (const auto& l : lsas) d.lsas.push_back(l);
   r.digest = d;
   r.observer_state = state;
   return r;

@@ -1,0 +1,120 @@
+// Allocation-budget regression test for the simulator hot path.
+//
+// The zero-allocation contract: once warm (timer slab grown, event-heap
+// vector at capacity, payload encoded), scheduling a timer, re-arming it,
+// and fanning a frame out across a LAN must not touch the heap at all.
+// This binary links nidkit_alloc_count, which replaces the global operator
+// new/delete with counting versions, so the assertion below is exact — one
+// stray allocation per event fails the build's test suite, not a profiler
+// session three PRs later.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+#include "util/alloc_count.hpp"
+
+namespace nidkit::netsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct TimerChurn {
+  Simulator& sim;
+  std::uint64_t remaining;
+};
+
+void timer_tick(TimerChurn& st) {
+  if (st.remaining == 0) return;  // budget shared by all chains
+  --st.remaining;
+  st.sim.schedule(1ms, [&st] { timer_tick(st); });
+}
+
+TEST(AllocBudget, SteadyStateTimerChurnIsAllocationFree) {
+  Simulator sim;
+  TimerChurn st{sim, 20'000};
+  // 32 concurrent self-rescheduling chains, like a network of routers each
+  // holding hello/retransmit/refresh timers.
+  for (int i = 0; i < 32; ++i) sim.schedule(1ms, [&st] { timer_tick(st); });
+  // Warm-up: grow the timer slab and the event-heap vector to capacity.
+  while (st.remaining > 10'000 && sim.step()) {
+  }
+  const auto before = util::allocation_count();
+  while (sim.step()) {
+  }
+  const auto after = util::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "timer scheduling allocated on the steady-state path";
+}
+
+struct HelloFlood {
+  Simulator& sim;
+  Network& net;
+  Frame proto;         // pre-encoded once, shared by refcount per send
+  NodeId sender;
+  std::uint64_t remaining;
+};
+
+void flood_tick(HelloFlood& st) {
+  if (st.remaining == 0) return;
+  --st.remaining;
+  st.sim.schedule(10ms, [&st] { flood_tick(st); });
+  st.net.send(st.sender, 0, st.proto);  // Frame copy = refcount bump
+}
+
+TEST(AllocBudget, SteadyStateHelloFloodIsAllocationFree) {
+  Simulator sim;
+  Network net(sim, /*seed=*/7);
+  std::vector<NodeId> members;
+  for (int i = 0; i < 8; ++i) members.push_back(net.add_node("r"));
+  net.add_lan(members);
+
+  std::uint64_t delivered = 0;
+  for (const NodeId n : members)
+    net.set_receive_handler(n, [&delivered](IfaceIndex, const Frame&) {
+      ++delivered;
+    });
+
+  HelloFlood st{sim, net, Frame{}, members[0], 4'000};
+  st.proto.dst = Ipv4Addr{0xe0000005};  // 224.0.0.5: LAN-wide fan-out
+  st.proto.protocol = 253;
+  st.proto.payload = std::vector<std::uint8_t>(100, 0xab);
+
+  flood_tick(st);
+  // Warm-up: the delivery heap reaches its high-water mark within a few
+  // ticks (7 in-flight deliveries + 1 timer).
+  while (st.remaining > 2'000 && sim.step()) {
+  }
+  const auto before = util::allocation_count();
+  while (sim.step()) {
+  }
+  const auto after = util::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "frame delivery allocated on the steady-state path";
+  EXPECT_GT(delivered, 10'000u);  // 2000 sends x 7 receivers measured
+}
+
+TEST(AllocBudget, CancelledTimersRecycleTheirSlots) {
+  // Schedule-then-cancel churn (retransmission timers that never fire)
+  // must recycle slots through the freelist, not grow the slab.
+  Simulator sim;
+  std::uint64_t fired = 0;
+  // Warm the slab with a burst of live timers.
+  for (int i = 0; i < 64; ++i) sim.schedule(1ms, [&fired] { ++fired; });
+  sim.run();
+  const auto before = util::allocation_count();
+  for (int round = 0; round < 1'000; ++round) {
+    auto h = sim.schedule(1ms, [&fired] { ++fired; });
+    h.cancel();
+    sim.run();
+  }
+  const auto after = util::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "schedule/cancel churn allocated after warm-up";
+  EXPECT_EQ(fired, 64u);
+}
+
+}  // namespace
+}  // namespace nidkit::netsim

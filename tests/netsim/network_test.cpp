@@ -29,7 +29,7 @@ TEST_F(NetFixture, P2pDeliversToPeer) {
   net.add_p2p(a, b);
   std::vector<std::uint8_t> got;
   net.set_receive_handler(b, [&](IfaceIndex, const Frame& f) {
-    got = f.payload;
+    got = f.payload.to_vector();
   });
   net.send(a, 0, make_frame(kAllSpfRouters, 0x42));
   sim.run();

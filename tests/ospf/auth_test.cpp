@@ -195,7 +195,7 @@ TEST(Md5Auth, ReplayedPacketRejected) {
   rig.net.set_tap([&](const netsim::TapEvent& ev) {
     if (captured.empty() && ev.node == rig.nodes[0] &&
         ev.direction == netsim::Direction::kSend)
-      captured = ev.frame->payload;
+      captured = ev.frame->payload.to_vector();
   });
   rig.start_all();
   rig.run_for(60s);
@@ -223,7 +223,7 @@ TEST(Md5Auth, TamperedBodyRejected) {
   rig.net.set_tap([&](const netsim::TapEvent& ev) {
     if (captured.empty() && ev.node == rig.nodes[0] &&
         ev.direction == netsim::Direction::kSend)
-      captured = ev.frame->payload;
+      captured = ev.frame->payload.to_vector();
   });
   rig.start_all();
   rig.run_for(60s);

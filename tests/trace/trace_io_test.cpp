@@ -82,6 +82,38 @@ TEST(TraceIo, MiningAReloadedTraceGivesIdenticalRelations) {
     }
 }
 
+TEST(TraceIo, SaveLoadSaveTextIsIdentical) {
+  // The serialized text itself must be a fixed point: save -> load -> save
+  // reproduces the stream byte for byte. This pins the format against
+  // representation changes (the payload buffer moving from std::vector to
+  // a shared cell must be invisible on the wire).
+  const TraceLog original = real_trace();
+  std::stringstream first;
+  original.save(first);
+  const auto loaded = TraceLog::load(first);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  std::stringstream second;
+  loaded.value().save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TraceIo, NodeIndexRebuiltOnLoad) {
+  // The per-node record index is maintained on append, including the
+  // append path load() uses — a reloaded trace must mine per-node exactly
+  // like the live one.
+  const TraceLog original = real_trace();
+  std::stringstream buf;
+  original.save(buf);
+  const auto loaded = TraceLog::load(buf);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().node_index_extent(),
+            original.node_index_extent());
+  for (netsim::NodeId n = 0; n < original.node_index_extent(); ++n)
+    EXPECT_EQ(loaded.value().node_records(n), original.node_records(n))
+        << "node " << n;
+  EXPECT_EQ(loaded.value().observed_nodes(), original.observed_nodes());
+}
+
 TEST(TraceIo, RejectsWrongMagic) {
   std::stringstream buf("pcapng 1.0 4\n");
   EXPECT_FALSE(TraceLog::load(buf).ok());

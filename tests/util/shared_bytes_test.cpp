@@ -1,0 +1,95 @@
+// SharedBytes: the frame-payload buffer. The contract under test: copies
+// share one cell (refcount, not byte copy), the buffer is value-comparable,
+// converts to the span the wire codecs take, and the empty buffer costs
+// nothing.
+#include "util/shared_bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace nidkit::util {
+namespace {
+
+TEST(SharedBytes, EmptyByDefault) {
+  SharedBytes b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(b.use_count(), 0u);
+}
+
+TEST(SharedBytes, HoldsACopyOfTheSource) {
+  std::vector<std::uint8_t> v{1, 2, 3};
+  SharedBytes b = v;
+  v[0] = 99;  // the cell is independent of the source vector
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[2], 3);
+}
+
+TEST(SharedBytes, CopiesShareOneCell) {
+  SharedBytes a{10, 20, 30};
+  SharedBytes b = a;
+  SharedBytes c = b;
+  EXPECT_EQ(a.use_count(), 3u);
+  EXPECT_EQ(a.data(), b.data());  // same bytes, not equal bytes
+  EXPECT_EQ(b.data(), c.data());
+  c = SharedBytes{};
+  EXPECT_EQ(a.use_count(), 2u);
+}
+
+TEST(SharedBytes, MoveDoesNotBumpTheRefcount) {
+  SharedBytes a{1, 2};
+  const auto* p = a.data();
+  SharedBytes b = std::move(a);
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());  // NOLINT: post-move state is pinned
+}
+
+TEST(SharedBytes, LastOwnerFreesTheCell) {
+  SharedBytes outer;
+  {
+    SharedBytes inner{5, 6, 7};
+    outer = inner;
+    EXPECT_EQ(outer.use_count(), 2u);
+  }
+  EXPECT_EQ(outer.use_count(), 1u);
+  EXPECT_EQ(outer.size(), 3u);
+  EXPECT_EQ(outer[1], 6);
+}
+
+TEST(SharedBytes, EqualityIsByValue) {
+  SharedBytes a{1, 2, 3};
+  SharedBytes b{1, 2, 3};
+  SharedBytes c{1, 2, 4};
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(SharedBytes{}, SharedBytes{});
+}
+
+TEST(SharedBytes, ConvertsToCodecSpan) {
+  SharedBytes b{0xde, 0xad};
+  std::span<const std::uint8_t> s = b;
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], 0xad);
+  EXPECT_EQ(b.span().data(), b.data());
+}
+
+TEST(SharedBytes, RoundTripsThroughVector) {
+  std::vector<std::uint8_t> v{9, 8, 7, 6};
+  SharedBytes b = v;
+  EXPECT_EQ(b.to_vector(), v);
+}
+
+TEST(SharedBytes, IteratesLikeAContainer) {
+  SharedBytes b{1, 2, 3, 4};
+  int sum = 0;
+  for (const auto byte : b) sum += byte;
+  EXPECT_EQ(sum, 10);
+}
+
+}  // namespace
+}  // namespace nidkit::util

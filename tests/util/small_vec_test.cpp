@@ -1,0 +1,114 @@
+// SmallVec: the digest's LSA-header storage. The contract under test:
+// the first N elements live inline (no allocation), spilling past N moves
+// everything to the heap transparently, and copies/moves/comparisons
+// behave like std::vector's.
+#include "util/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace nidkit::util {
+namespace {
+
+using V = SmallVec<std::uint32_t, 4>;
+
+TEST(SmallVec, StartsEmptyAndInline) {
+  V v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_TRUE(v.is_inline());
+}
+
+TEST(SmallVec, StaysInlineUpToN) {
+  V v;
+  for (std::uint32_t i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_TRUE(v.is_inline());
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v.back(), 30u);
+}
+
+TEST(SmallVec, SpillsToHeapPastNKeepingContents) {
+  V v;
+  for (std::uint32_t i = 0; i < 9; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 9u);
+  for (std::uint32_t i = 0; i < 9; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, CopyIsDeep) {
+  V a;
+  for (std::uint32_t i = 0; i < 6; ++i) a.push_back(i);
+  V b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(b.size(), a.size());
+  V c;
+  c.push_back(1);
+  c = a;  // assignment over existing contents
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_EQ(c[5], 5u);
+}
+
+TEST(SmallVec, MoveStealsHeapStorage) {
+  V a;
+  for (std::uint32_t i = 0; i < 8; ++i) a.push_back(i);
+  const auto* p = a.data();
+  V b = std::move(a);
+  EXPECT_EQ(b.data(), p);  // heap cell transferred, not copied
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_TRUE(a.empty());  // NOLINT: post-move state is pinned
+  EXPECT_TRUE(a.is_inline());
+}
+
+TEST(SmallVec, MoveOfInlineCopiesElements) {
+  V a;
+  a.push_back(7);
+  V b = std::move(a);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 7u);
+  EXPECT_TRUE(b.is_inline());
+}
+
+TEST(SmallVec, ClearKeepsCapacity) {
+  V v;
+  for (std::uint32_t i = 0; i < 8; ++i) v.push_back(i);
+  const auto cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  v.push_back(5);
+  EXPECT_EQ(v[0], 5u);
+}
+
+TEST(SmallVec, ReserveForcesCapacity) {
+  V v;
+  v.reserve(32);
+  EXPECT_GE(v.capacity(), 32u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, EqualityIsByValue) {
+  V a, b;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  EXPECT_EQ(a, b);
+  b.push_back(9);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SmallVec, RangeForIterates) {
+  V v;
+  for (std::uint32_t i = 1; i <= 5; ++i) v.push_back(i);
+  std::uint32_t sum = 0;
+  for (const auto x : v) sum += x;
+  EXPECT_EQ(sum, 15u);
+}
+
+}  // namespace
+}  // namespace nidkit::util
