@@ -1,0 +1,152 @@
+// Result-cache benchmark + correctness gate.
+//
+// Runs the paper's default audit (4 topologies × 3 seeds, frr vs bird)
+// cold into a fresh cache directory, then warm from it, and measures:
+//
+//   cold_ms / warm_ms   end-to-end audit wall clock — the headline number:
+//                       a warm cache replays every scenario instead of
+//                       simulating it.
+//   lookup_us           mean per-entry Store::get latency against a fresh
+//                       Store instance (disk decode, no memory hits).
+//
+// Exit status: nonzero if the warm report JSON differs from the cold one
+// byte-for-byte, if the warm run missed, or — in full mode only — if the
+// warm speedup is below 5x (the ISSUE's acceptance floor; --short runs a
+// reduced workload where fixed costs dominate, so the ratio is reported
+// but not enforced). Results are printed and written to BENCH_cache.json
+// (override with --out).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "cache/store.hpp"
+#include "detect/json.hpp"
+#include "harness/experiment.hpp"
+
+using namespace nidkit;
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Run {
+  std::string json;
+  double wall_ms = 0;
+  harness::ExecReport exec;
+};
+
+Run run_audit(const harness::ExperimentConfig& config) {
+  const auto start = Clock::now();
+  const auto audit = harness::audit_ospf(
+      {ospf::frr_profile(), ospf::bird_profile()}, config,
+      mining::ospf_type_scheme());
+  Run run;
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  run.json = detect::to_json(audit.named(), audit.discrepancies);
+  run.exec = audit.exec;
+  return run;
+}
+
+/// Mean Store::get latency over every entry in `dir`, using a fresh Store
+/// per measurement pass so each get decodes from disk.
+double mean_lookup_us(const std::string& dir) {
+  const auto entries = cache::Store::ls(dir);
+  if (entries.empty()) return 0;
+  cache::Store store(dir);
+  const auto start = Clock::now();
+  std::size_t found = 0;
+  for (const auto& e : entries)
+    if (store.get(e.key).has_value()) ++found;
+  const double total_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+  return found == 0 ? 0 : total_us / static_cast<double>(found);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  std::string out_path = "BENCH_cache.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_cache [--short] [--out file]\n");
+      return 2;
+    }
+  }
+
+  harness::ExperimentConfig config;  // paper defaults: 4 topologies, 3 seeds
+  config.jobs = 1;  // serial baseline: isolates caching from parallelism
+  if (short_mode) {
+    config.topologies = {topo::Spec{topo::Kind::kLinear, 2},
+                         topo::Spec{topo::Kind::kMesh, 3}};
+    config.seeds = {1};
+    config.duration = std::chrono::seconds(90);
+  }
+
+  const fs::path dir =
+      fs::temp_directory_path() / "nidkit_bench_cache";
+  fs::remove_all(dir);
+  config.cache_dir = dir.string();
+
+  std::printf("=== Result cache: audit cold vs warm (%s mode) ===\n\n",
+              short_mode ? "short" : "full");
+
+  const Run cold = run_audit(config);
+  const Run warm = run_audit(config);
+  const double lookup_us = mean_lookup_us(config.cache_dir);
+  const auto files = cache::Store::ls(config.cache_dir);
+  std::uint64_t cache_bytes = 0;
+  for (const auto& f : files) cache_bytes += f.bytes;
+  fs::remove_all(dir);
+
+  const bool identical = cold.json == warm.json;
+  const bool all_hits = warm.exec.cache_misses == 0 &&
+                        warm.exec.cache_hits == cold.exec.cache_misses;
+  const double speedup = warm.wall_ms > 0 ? cold.wall_ms / warm.wall_ms : 0;
+
+  char json[768];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"cache\",\"mode\":\"%s\",\"scenarios\":%llu,"
+      "\"cold_ms\":%.2f,\"warm_ms\":%.2f,\"speedup\":%.2f,"
+      "\"mean_lookup_us\":%.2f,\"cache_bytes\":%llu,"
+      "\"warm_hits\":%llu,\"warm_misses\":%llu,"
+      "\"report_json_identical\":%s}",
+      short_mode ? "short" : "full",
+      static_cast<unsigned long long>(cold.exec.cache_misses), cold.wall_ms,
+      warm.wall_ms, speedup, lookup_us,
+      static_cast<unsigned long long>(cache_bytes),
+      static_cast<unsigned long long>(warm.exec.cache_hits),
+      static_cast<unsigned long long>(warm.exec.cache_misses),
+      identical ? "true" : "false");
+  std::printf("%s\n\n", json);
+
+  std::printf("correctness checks:\n"
+              "  warm report JSON byte-identical to cold: %s\n"
+              "  warm run served entirely from cache:     %s\n",
+              identical ? "yes" : "NO", all_hits ? "yes" : "NO");
+  std::printf("speedup check (%s in %s mode):\n"
+              "  warm >= 5x faster than cold: %s (%.1fx)\n",
+              short_mode ? "informational only" : "enforced",
+              short_mode ? "short" : "full", speedup >= 5.0 ? "yes" : "NO",
+              speedup);
+
+  std::ofstream file(out_path);
+  if (file) {
+    file << json << "\n";
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  }
+
+  if (!identical || !all_hits) return 1;
+  if (!short_mode && speedup < 5.0) return 1;
+  return 0;
+}

@@ -1,0 +1,316 @@
+#include "cache/store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "mining/relation_codec.hpp"
+
+namespace nidkit::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E494443;  // "NIDC"
+constexpr const char* kExtension = ".nidc";
+
+void write_u64(ByteWriter& out, std::uint64_t v) {
+  out.u32(static_cast<std::uint32_t>(v >> 32));
+  out.u32(static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t read_u64(ByteReader& in) {
+  const std::uint64_t hi = in.u32();
+  return (hi << 32) | in.u32();
+}
+
+void encode_summary(const ScenarioSummary& s, ByteWriter& out) {
+  write_u64(out, s.routers);
+  write_u64(out, s.segments);
+  write_u64(out, s.full_adjacencies);
+  out.u8(s.converged ? 1 : 0);
+  out.u8(s.routes_consistent ? 1 : 0);
+  write_u64(out, static_cast<std::uint64_t>(s.convergence_time_us));
+  write_u64(out, s.frames_delivered);
+  write_u64(out, s.frames_dropped);
+}
+
+ScenarioSummary decode_summary(ByteReader& in) {
+  ScenarioSummary s;
+  s.routers = read_u64(in);
+  s.segments = read_u64(in);
+  s.full_adjacencies = read_u64(in);
+  s.converged = in.u8() != 0;
+  s.routes_consistent = in.u8() != 0;
+  s.convergence_time_us = static_cast<std::int64_t>(read_u64(in));
+  s.frames_delivered = read_u64(in);
+  s.frames_dropped = read_u64(in);
+  return s;
+}
+
+void encode_sweep(const SweepStats& s, ByteWriter& out) {
+  write_u64(out, s.mined_pairs);
+  write_u64(out, s.truth_pairs);
+  write_u64(out, s.correct_pairs);
+  write_u64(out, s.mined_cells);
+  write_u64(out, s.unobserved_cells);
+  write_u64(out, s.spurious_cells);
+}
+
+SweepStats decode_sweep(ByteReader& in) {
+  SweepStats s;
+  s.mined_pairs = read_u64(in);
+  s.truth_pairs = read_u64(in);
+  s.correct_pairs = read_u64(in);
+  s.mined_cells = read_u64(in);
+  s.unobserved_cells = read_u64(in);
+  s.spurious_cells = read_u64(in);
+  return s;
+}
+
+/// Header = magic + version + key echo + payload kind. Returns the kind,
+/// or nullopt if the framing is malformed or names a different key.
+std::optional<PayloadKind> decode_header(ByteReader& in,
+                                         const ScenarioKey& expected) {
+  if (in.u32() != kMagic) return std::nullopt;
+  if (in.u32() != kCacheFormatVersion) return std::nullopt;
+  const auto echoed = in.bytes(expected.digest.bytes.size());
+  if (!in.ok() ||
+      !std::equal(echoed.begin(), echoed.end(),
+                  expected.digest.bytes.begin()))
+    return std::nullopt;
+  const std::uint8_t kind = in.u8();
+  if (!in.ok()) return std::nullopt;
+  if (kind != static_cast<std::uint8_t>(PayloadKind::kMinedRelations) &&
+      kind != static_cast<std::uint8_t>(PayloadKind::kSweepStats))
+    return std::nullopt;
+  return static_cast<PayloadKind>(kind);
+}
+
+std::optional<ScenarioKey> key_from_stem(const std::string& stem) {
+  if (stem.size() != 32) return std::nullopt;
+  ScenarioKey key;
+  for (std::size_t i = 0; i < 16; ++i) {
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = nibble(stem[2 * i]);
+    const int lo = nibble(stem[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    key.digest.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return key;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const fs::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(file)),
+      std::istreambuf_iterator<char>());
+  if (file.bad()) return std::nullopt;
+  return bytes;
+}
+
+/// All entry files under `dir`, unsorted. Missing directory → empty.
+std::vector<fs::path> entry_files(const std::string& dir) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == kExtension)
+      out.push_back(it->path());
+  }
+  return out;
+}
+
+double age_seconds_of(const fs::path& path) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return std::chrono::duration<double>(age).count();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_entry(const ScenarioKey& key,
+                                       const Entry& entry) {
+  ByteWriter out(256);
+  out.u32(kMagic);
+  out.u32(kCacheFormatVersion);
+  out.bytes(key.digest.bytes);
+  out.u8(static_cast<std::uint8_t>(entry.kind));
+  encode_summary(entry.summary, out);
+  if (entry.kind == PayloadKind::kMinedRelations)
+    mining::encode_relations(entry.relations, out);
+  else
+    encode_sweep(entry.sweep, out);
+  return out.take();
+}
+
+std::optional<Entry> decode_entry(const ScenarioKey& expected,
+                                  std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const auto kind = decode_header(in, expected);
+  if (!kind) return std::nullopt;
+  Entry entry;
+  entry.kind = *kind;
+  entry.summary = decode_summary(in);
+  if (!in.ok()) return std::nullopt;
+  if (entry.kind == PayloadKind::kMinedRelations) {
+    auto relations = mining::decode_relations(in);
+    if (!relations) return std::nullopt;
+    entry.relations = std::move(*relations);
+  } else {
+    entry.sweep = decode_sweep(in);
+  }
+  if (!in.ok() || in.remaining() != 0) return std::nullopt;
+  return entry;
+}
+
+Store::Store(std::string dir) : dir_(std::move(dir)) {}
+
+std::string Store::entry_path(const ScenarioKey& key) const {
+  return (fs::path(dir_) / key.prefix() / (key.hex() + kExtension))
+      .string();
+}
+
+std::optional<Entry> Store::get(const ScenarioKey& key) {
+  std::lock_guard lock(mutex_);
+  if (auto it = memory_.find(key); it != memory_.end()) {
+    ++counters_.memory_hits;
+    return it->second;
+  }
+  const auto bytes = read_file(entry_path(key));
+  if (!bytes) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  auto entry = decode_entry(key, *bytes);
+  if (!entry) {
+    ++counters_.bad_entries;
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.disk_hits;
+  memory_.emplace(key, *entry);
+  return entry;
+}
+
+void Store::put(const ScenarioKey& key, const Entry& entry) {
+  std::lock_guard lock(mutex_);
+  memory_.insert_or_assign(key, entry);
+  ++counters_.stores;
+
+  const auto encoded = encode_entry(key, entry);
+  const fs::path target(entry_path(key));
+  std::error_code ec;
+  fs::create_directories(target.parent_path(), ec);
+  if (ec) return;
+
+  // Unique-per-writer temp name in the target directory, so the final
+  // rename never crosses a filesystem boundary and is atomic.
+  static std::atomic<std::uint64_t> temp_serial{0};
+  std::uint64_t writer_id = temp_serial.fetch_add(1);
+#if defined(__unix__) || defined(__APPLE__)
+  writer_id |= static_cast<std::uint64_t>(::getpid()) << 32;
+#endif
+  const fs::path temp =
+      target.parent_path() /
+      (key.hex() + "." + std::to_string(writer_id) + ".tmp");
+  {
+    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+    if (!file) return;
+    file.write(reinterpret_cast<const char*>(encoded.data()),
+               static_cast<std::streamsize>(encoded.size()));
+    if (!file) {
+      file.close();
+      fs::remove(temp, ec);
+      return;
+    }
+  }
+  fs::rename(temp, target, ec);
+  if (ec) fs::remove(temp, ec);
+}
+
+StoreCounters Store::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::vector<Store::FileInfo> Store::ls(const std::string& dir) {
+  std::vector<FileInfo> out;
+  for (const auto& path : entry_files(dir)) {
+    FileInfo info;
+    std::error_code ec;
+    info.bytes = fs::file_size(path, ec);
+    info.age_seconds = age_seconds_of(path);
+    const auto key = key_from_stem(path.stem().string());
+    if (key) {
+      info.key = *key;
+      if (const auto bytes = read_file(path)) {
+        ByteReader in(*bytes);
+        if (const auto kind = decode_header(in, *key)) {
+          info.kind = *kind;
+          info.valid = true;
+        }
+      }
+    }
+    out.push_back(info);
+  }
+  std::sort(out.begin(), out.end(), [](const FileInfo& a, const FileInfo& b) {
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::size_t Store::prune(const std::string& dir, double max_age_days) {
+  const double max_age_seconds = max_age_days * 24.0 * 3600.0;
+  std::size_t removed = 0;
+  for (const auto& path : entry_files(dir)) {
+    bool drop = age_seconds_of(path) > max_age_seconds;
+    if (!drop) {
+      const auto key = key_from_stem(path.stem().string());
+      const auto bytes = key ? read_file(path) : std::nullopt;
+      bool valid = false;
+      if (bytes) {
+        ByteReader in(*bytes);
+        valid = decode_header(in, *key).has_value();
+      }
+      drop = !valid;
+    }
+    if (drop) {
+      std::error_code ec;
+      if (fs::remove(path, ec) && !ec) ++removed;
+    }
+  }
+  return removed;
+}
+
+std::size_t Store::clear(const std::string& dir) {
+  std::size_t removed = 0;
+  for (const auto& path : entry_files(dir)) {
+    std::error_code ec;
+    if (fs::remove(path, ec) && !ec) ++removed;
+  }
+  // Sweep now-empty shard directories so clear leaves a pristine tree.
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; ++it) {
+    std::error_code sub;
+    if (it->is_directory(sub) && fs::is_empty(it->path(), sub) && !sub)
+      fs::remove(it->path(), sub);
+  }
+  return removed;
+}
+
+}  // namespace nidkit::cache

@@ -1,0 +1,137 @@
+// Persistent, content-addressed scenario result store.
+//
+// Layout: <dir>/<first-two-hex>/<key>.nidc, one entry per file. Each file
+// carries a magic + format version + the full key it claims to hold, so a
+// renamed or corrupted file can never satisfy the wrong lookup — it simply
+// decodes as a miss (counted in counters().bad_entries). Writes go to a
+// temp file in the same shard directory and are renamed into place, which
+// is atomic on POSIX: concurrent --jobs workers, concurrent nidt
+// processes, or a reader racing a writer see either the old complete
+// entry, the new complete entry, or a miss — never a torn file.
+//
+// An in-process map fronts the disk: within one run, a key is decoded (or
+// computed) at most once, and repeated lookups — including in-flight
+// duplicates the experiment layer fans in — are memory hits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/key.hpp"
+#include "mining/relation.hpp"
+#include "util/bytes.hpp"
+
+namespace nidkit::cache {
+
+/// The simulation-health summary of the run that produced an entry —
+/// ScenarioResult's scalar statistics, preserved so a replayed scenario
+/// can report the same convergence/health numbers the original run did.
+struct ScenarioSummary {
+  std::uint64_t routers = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t full_adjacencies = 0;
+  bool converged = false;
+  bool routes_consistent = false;
+  std::int64_t convergence_time_us = -1'000'000;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped = 0;
+
+  friend bool operator==(const ScenarioSummary&,
+                         const ScenarioSummary&) = default;
+};
+
+/// Per-scenario accuracy counters cached for tdelay_sweep points. Integer
+/// partials only — precision/recall ratios are derived after the canonical
+/// accumulation, so cached and fresh sweeps agree bit-for-bit.
+struct SweepStats {
+  std::uint64_t mined_pairs = 0;
+  std::uint64_t truth_pairs = 0;
+  std::uint64_t correct_pairs = 0;
+  std::uint64_t mined_cells = 0;
+  std::uint64_t unobserved_cells = 0;
+  std::uint64_t spurious_cells = 0;
+
+  friend bool operator==(const SweepStats&, const SweepStats&) = default;
+};
+
+/// One cached scenario result. `relations` is meaningful for
+/// kMinedRelations, `sweep` for kSweepStats; the summary is always kept.
+struct Entry {
+  PayloadKind kind = PayloadKind::kMinedRelations;
+  ScenarioSummary summary;
+  mining::RelationSet relations;
+  SweepStats sweep;
+};
+
+/// Serializes an entry with its file framing (magic, version, key echo).
+std::vector<std::uint8_t> encode_entry(const ScenarioKey& key,
+                                       const Entry& entry);
+
+/// Decodes an entry, verifying framing and that it holds `expected`.
+/// Returns nullopt on any mismatch, truncation or trailing garbage.
+std::optional<Entry> decode_entry(const ScenarioKey& expected,
+                                  std::span<const std::uint8_t> bytes);
+
+struct StoreCounters {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  /// Files that existed but failed to decode (corruption, foreign format,
+  /// version skew). Treated as misses; never fatal.
+  std::uint64_t bad_entries = 0;
+};
+
+class Store {
+ public:
+  /// `dir` need not exist yet; it is created on the first put().
+  explicit Store(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Memory first, then disk (a disk hit is promoted into memory).
+  std::optional<Entry> get(const ScenarioKey& key);
+
+  /// Inserts into memory and persists to disk (atomic temp+rename). Disk
+  /// I/O failures are swallowed: the cache degrades to memory-only rather
+  /// than failing the experiment.
+  void put(const ScenarioKey& key, const Entry& entry);
+
+  StoreCounters counters() const;
+
+  // ---- Maintenance (nidt cache ls/prune/clear) ----
+
+  struct FileInfo {
+    ScenarioKey key;
+    PayloadKind kind = PayloadKind::kMinedRelations;
+    bool valid = false;          ///< header decoded and key matches name
+    std::uint64_t bytes = 0;
+    double age_seconds = 0;      ///< since last modification
+  };
+
+  /// Every *.nidc entry under `dir`, sorted by key hex.
+  static std::vector<FileInfo> ls(const std::string& dir);
+
+  /// Deletes entries older than `max_age_days` (and any entry that fails
+  /// validation). Returns the number of files removed.
+  static std::size_t prune(const std::string& dir, double max_age_days);
+
+  /// Deletes every cache entry (and empty shard directories). Returns the
+  /// number of entry files removed.
+  static std::size_t clear(const std::string& dir);
+
+ private:
+  std::string entry_path(const ScenarioKey& key) const;
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::map<ScenarioKey, Entry> memory_;
+  StoreCounters counters_;
+};
+
+}  // namespace nidkit::cache

@@ -1,8 +1,10 @@
 #include "cli/cli.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "cache/store.hpp"
 #include "detect/json.hpp"
 #include "detect/report.hpp"
 #include "harness/experiment.hpp"
@@ -36,6 +38,10 @@ std::optional<Args> parse_args(const std::vector<std::string>& tokens,
   std::size_t i = 0;
   if (i < tokens.size() && tokens[i].rfind("--", 0) != 0)
     args.command = tokens[i++];
+  // The cache command takes an action word: `nidt cache ls|prune|clear`.
+  if (args.command == "cache" && i < tokens.size() &&
+      tokens[i].rfind("--", 0) != 0)
+    args.subcommand = tokens[i++];
   while (i < tokens.size()) {
     const auto& tok = tokens[i];
     if (tok.rfind("--", 0) != 0) {
@@ -43,7 +49,7 @@ std::optional<Args> parse_args(const std::vector<std::string>& tokens,
       return std::nullopt;
     }
     // Boolean switches: presence means "on", no value token follows.
-    if (tok == "--keep-bytes") {
+    if (tok == "--keep-bytes" || tok == "--no-cache") {
       args.flags[tok.substr(2)] = "1";
       i += 1;
       continue;
@@ -89,13 +95,19 @@ int usage(std::ostream& out) {
          "  validate   --impls frr,bird [--scheme gtsn] : mine flags, then\n"
          "             confirm each by crafted-packet injection\n"
          "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3] [--jobs N]\n"
+         "  cache      ls|prune|clear  --cache-dir DIR [--max-age-days 30]\n"
          "  help\n"
          "\n"
          "  --jobs N parallelizes scenario execution over N workers\n"
          "  (default: hardware concurrency; results are identical for\n"
          "  every N). --stats writes executor wall-time/queue telemetry.\n"
          "  Audit/sweep traces keep only protocol digests; --keep-bytes\n"
-         "  retains raw wire bytes too (for pcap export of audit runs).\n";
+         "  retains raw wire bytes too (for pcap export of audit runs).\n"
+         "  --cache-dir DIR memoizes per-scenario results on disk, keyed\n"
+         "  by every simulation-affecting knob; repeat runs (audit, sweep,\n"
+         "  stability) replay hits instead of re-simulating, with byte-\n"
+         "  identical output. NIDKIT_CACHE_DIR sets a default directory;\n"
+         "  --no-cache overrides both.\n";
   return 0;
 }
 
@@ -132,6 +144,16 @@ std::optional<topo::Spec> topo_by_name(const std::string& name) {
   if (kind == "tree") return topo::Spec{topo::Kind::kTree, n};
   if (kind == "lan") return topo::Spec{topo::Kind::kLan, n};
   return std::nullopt;
+}
+
+/// Cache directory for this invocation: --no-cache wins, then --cache-dir,
+/// then the NIDKIT_CACHE_DIR environment variable. Empty means caching is
+/// off (the default).
+std::string resolve_cache_dir(const Args& args) {
+  if (args.has("no-cache")) return "";
+  if (args.has("cache-dir")) return args.get("cache-dir", "");
+  if (const char* env = std::getenv("NIDKIT_CACHE_DIR")) return env;
+  return "";
 }
 
 std::optional<harness::ExperimentConfig> config_from(const Args& args,
@@ -179,6 +201,7 @@ std::optional<harness::ExperimentConfig> config_from(const Args& args,
   // (mining reads digests only); --keep-bytes opts back in, e.g. to pcap-
   // export audit traces.
   config.keep_bytes = args.has("keep-bytes");
+  config.cache_dir = resolve_cache_dir(args);
   return config;
 }
 
@@ -361,14 +384,17 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   config.link_jitter = 400ms;
   if (const auto jobs = args.get_int("jobs"); jobs && *jobs >= 0)
     config.jobs = static_cast<std::size_t>(*jobs);
+  config.cache_dir = resolve_cache_dir(args);
   const long long max_ms = args.get_int("max-ms").value_or(1500);
   const long long step_ms = std::max<long long>(
       50, args.get_int("step-ms").value_or(150));
   std::vector<SimDuration> tds;
   for (long long ms = 0; ms <= max_ms; ms += step_ms)
     tds.push_back(SimDuration{ms * 1000});
+  harness::ExecReport exec;
   const auto sweep = harness::tdelay_sweep(*profile, config, tds,
-                                           mining::ospf_type_scheme());
+                                           mining::ospf_type_scheme(), &exec);
+  if (!write_stats_file(args, exec, err)) return 2;
   out << "tdelay_ms unobserved spurious precision recall\n";
   for (const auto& p : sweep) {
     std::ostringstream line;
@@ -377,6 +403,9 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
          << '\n';
     out << line.str();
   }
+  // Text reports have nowhere to embed telemetry; "inline" goes to err so
+  // the data rows stay machine-readable.
+  if (args.get("stats", "") == "inline") err << exec.to_json() << "\n";
   return 0;
 }
 
@@ -460,8 +489,10 @@ int cmd_stability(const Args& args, std::ostream& out, std::ostream& err) {
     err << "unknown scheme\n";
     return 2;
   }
+  harness::ExecReport exec;
   const auto report =
-      harness::ospf_relation_stability(*profile, *config, *scheme);
+      harness::ospf_relation_stability(*profile, *config, *scheme, &exec);
+  if (!write_stats_file(args, exec, err)) return 2;
   out << "seeds stimulus -> response (occurrences)\n";
   for (const auto& cell : report) {
     out << cell.seeds_seen << '/' << cell.seeds_total << ' '
@@ -469,7 +500,49 @@ int cmd_stability(const Args& args, std::ostream& out, std::ostream& err) {
         << detect::to_string(cell.direction) << "] (" << cell.total_count
         << ")\n";
   }
+  if (args.get("stats", "") == "inline") err << exec.to_json() << "\n";
   return 0;
+}
+
+int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string dir = resolve_cache_dir(args);
+  if (dir.empty()) {
+    err << "cache needs a directory: pass --cache-dir or set "
+           "NIDKIT_CACHE_DIR\n";
+    return 2;
+  }
+  const std::string action =
+      args.subcommand.empty() ? "ls" : args.subcommand;
+  if (action == "ls") {
+    const auto entries = cache::Store::ls(dir);
+    out << "key kind bytes age_s valid\n";
+    for (const auto& e : entries) {
+      out << e.key.hex() << ' '
+          << (e.kind == cache::PayloadKind::kSweepStats ? "sweep" : "mined")
+          << ' ' << e.bytes << ' ' << e.age_seconds << ' '
+          << (e.valid ? "yes" : "NO") << '\n';
+    }
+    out << entries.size() << " entries\n";
+    return 0;
+  }
+  if (action == "prune") {
+    const auto days = args.get_int("max-age-days").value_or(30);
+    if (days < 0) {
+      err << "--max-age-days needs a non-negative value\n";
+      return 2;
+    }
+    const auto removed = cache::Store::prune(dir, days);
+    out << "pruned " << removed << " entries older than " << days
+        << " days (plus any unreadable ones)\n";
+    return 0;
+  }
+  if (action == "clear") {
+    const auto removed = cache::Store::clear(dir);
+    out << "cleared " << removed << " entries\n";
+    return 0;
+  }
+  err << "unknown cache action: " << action << " (try ls, prune, clear)\n";
+  return 2;
 }
 
 }  // namespace
@@ -486,6 +559,7 @@ int run_cli(const std::vector<std::string>& tokens, std::ostream& out,
   if (args->command == "inject") return cmd_inject(*args, out, err);
   if (args->command == "validate") return cmd_validate(*args, out, err);
   if (args->command == "stability") return cmd_stability(*args, out, err);
+  if (args->command == "cache") return cmd_cache(*args, out, err);
   err << "unknown command: " << args->command << " (try `nidt help`)\n";
   return 2;
 }

@@ -8,6 +8,7 @@
 //   sweep      TDelay calibration sweep
 //   inject     craft-and-probe validation of a stimulus class
 //   stability  per-cell seed-coverage report
+//   cache      maintain the scenario result cache (ls/prune/clear)
 //
 // The CLI is a thin layer: every subcommand parses flags into a struct and
 // calls the harness. run_cli is stream-parameterized so tests can drive it
@@ -25,6 +26,9 @@ namespace nidkit::cli {
 /// Parsed command line: positional subcommand + --key value flags.
 struct Args {
   std::string command;
+  /// Second positional token — only the `cache` command takes one
+  /// (`nidt cache ls|prune|clear`); empty elsewhere.
+  std::string subcommand;
   std::map<std::string, std::string> flags;
 
   bool has(const std::string& key) const { return flags.count(key) > 0; }

@@ -1,0 +1,96 @@
+#include "harness/cached_fanout.hpp"
+
+#include <map>
+#include <utility>
+
+namespace nidkit::harness {
+
+cache::ScenarioSummary summarize(const ScenarioResult& run) {
+  cache::ScenarioSummary s;
+  s.routers = run.routers;
+  s.segments = run.segments;
+  s.full_adjacencies = run.full_adjacencies;
+  s.converged = run.converged;
+  s.routes_consistent = run.routes_consistent;
+  s.convergence_time_us = run.convergence_time.count();
+  s.frames_delivered = run.frames_delivered;
+  s.frames_dropped = run.frames_dropped;
+  return s;
+}
+
+std::vector<cache::Entry> run_cached(
+    const std::vector<CachedJob>& jobs, std::size_t workers,
+    cache::Store* store, cache::PayloadKind kind, std::string_view scheme_id,
+    const std::function<cache::Entry(const CachedJob&)>& compute,
+    ExecReport* exec) {
+  if (store == nullptr) {
+    ParallelExecutor executor(workers);
+    std::vector<std::string> labels;
+    labels.reserve(jobs.size());
+    for (const auto& j : jobs) labels.push_back(j.label);
+    auto results = executor.run_indexed(
+        jobs.size(), labels, [&](std::size_t i) { return compute(jobs[i]); });
+    if (exec) exec->accumulate(executor.report());
+    return results;
+  }
+
+  std::vector<cache::Entry> results(jobs.size());
+  std::vector<cache::ScenarioKey> keys;
+  keys.reserve(jobs.size());
+  for (const auto& j : jobs)
+    keys.push_back(cache::scenario_key(j.scenario, j.miner, scheme_id, kind));
+
+  // Triage in canonical order: owner jobs (first occurrence of a key) are
+  // looked up and, on miss, queued; later duplicates fan in afterwards.
+  std::map<cache::ScenarioKey, std::size_t> owner_of;
+  std::vector<std::size_t> to_run;
+  std::vector<bool> resolved(jobs.size(), false);
+  std::uint64_t hits = 0;
+  std::uint64_t dedup = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto [it, inserted] = owner_of.try_emplace(keys[i], i);
+    if (!inserted) {
+      ++dedup;
+      continue;
+    }
+    if (auto entry = store->get(keys[i])) {
+      results[i] = std::move(*entry);
+      resolved[i] = true;
+      ++hits;
+    } else {
+      to_run.push_back(i);
+    }
+  }
+
+  ParallelExecutor executor(workers);
+  std::vector<std::string> run_labels;
+  run_labels.reserve(to_run.size());
+  for (const auto i : to_run) run_labels.push_back(jobs[i].label);
+  auto computed = executor.run_indexed(
+      to_run.size(), run_labels,
+      [&](std::size_t k) { return compute(jobs[to_run[k]]); });
+  for (std::size_t k = 0; k < to_run.size(); ++k) {
+    const std::size_t i = to_run[k];
+    store->put(keys[i], computed[k]);
+    results[i] = std::move(computed[k]);
+    resolved[i] = true;
+  }
+
+  // Fan the owners' results in to their in-flight duplicates.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (resolved[i]) continue;
+    results[i] = results[owner_of.at(keys[i])];
+  }
+
+  if (exec) {
+    ExecReport delta = executor.report();
+    delta.cache_hits = hits;
+    delta.cache_misses = to_run.size();
+    delta.cache_dedup = dedup;
+    delta.cache_stores = to_run.size();
+    exec->accumulate(delta);
+  }
+  return results;
+}
+
+}  // namespace nidkit::harness

@@ -1,6 +1,9 @@
 #include "harness/experiment.hpp"
 
+#include <optional>
 #include <utility>
+
+#include "harness/cached_fanout.hpp"
 
 namespace nidkit::harness {
 
@@ -8,61 +11,75 @@ namespace nidkit::harness {
 // added a field to ExperimentConfig: either copy it into the Scenario in
 // scenario_for (and extend Config.ScenarioForCopiesExperimentKnobs), or —
 // for executor-level knobs that do not describe a single scenario, like
-// `jobs` — document the exemption there. Then update the expected size.
+// `jobs` and `cache_dir` — document the exemption there. Then update the
+// expected size.
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(ExperimentConfig) == 120,
+static_assert(sizeof(ExperimentConfig) == 152,
               "ExperimentConfig grew: thread the new knob through "
               "scenario_for (or exempt it) and update this guard");
 #endif
 
 namespace {
 
-/// One fanned-out unit of work: a fully-specified scenario plus its
-/// human-readable label ("impl/topology/seed") for the telemetry report.
-struct ScenarioJob {
-  Scenario scenario;
-  std::string label;
-};
-
 std::string job_label(const std::string& impl, const topo::Spec& spec,
                       std::uint64_t seed) {
   return impl + "/" + spec.name() + "/s" + std::to_string(seed);
 }
 
-/// Runs every job on the executor and mines each trace under `scheme`.
-/// Returned sets are in canonical job order; merging them left-to-right
-/// reproduces the serial loop nest exactly.
-std::vector<mining::RelationSet> mine_jobs(
-    const std::vector<ScenarioJob>& jobs, const ExperimentConfig& config,
-    const mining::KeyScheme& scheme, ExecReport* exec) {
+/// Runs every job through the cache-aware fan-out and mines each computed
+/// trace under `scheme`; hits skip simulate+mine entirely. Returned sets
+/// are in canonical job order; merging them left-to-right reproduces the
+/// serial loop nest exactly (cached sets decode bit-identically, see
+/// relation_codec.hpp).
+std::vector<mining::RelationSet> mine_jobs(const std::vector<CachedJob>& jobs,
+                                           const ExperimentConfig& config,
+                                           const mining::KeyScheme& scheme,
+                                           ExecReport* exec,
+                                           cache::Store* store) {
   const mining::CausalMiner miner(config.miner_config());
-  std::vector<std::string> labels;
-  labels.reserve(jobs.size());
-  for (const auto& j : jobs) labels.push_back(j.label);
-
-  ParallelExecutor executor(config.jobs);
-  auto sets = executor.run_indexed(jobs.size(), labels, [&](std::size_t i) {
-    const ScenarioResult run = run_scenario(jobs[i].scenario);
-    return miner.mine(run.log, scheme);
-  });
-  if (exec) exec->accumulate(executor.report());
+  auto entries = run_cached(
+      jobs, config.jobs, store, cache::PayloadKind::kMinedRelations,
+      scheme.name,
+      [&](const CachedJob& job) {
+        const ScenarioResult run = run_scenario(job.scenario);
+        cache::Entry entry;
+        entry.kind = cache::PayloadKind::kMinedRelations;
+        entry.summary = summarize(run);
+        entry.relations = miner.mine(run.log, scheme);
+        return entry;
+      },
+      exec);
+  std::vector<mining::RelationSet> sets;
+  sets.reserve(entries.size());
+  for (auto& e : entries) sets.push_back(std::move(e.relations));
   return sets;
+}
+
+std::vector<mining::RelationSet> mine_jobs(const std::vector<CachedJob>& jobs,
+                                           const ExperimentConfig& config,
+                                           const mining::KeyScheme& scheme,
+                                           ExecReport* exec) {
+  // Store is neither movable nor copyable (it owns a mutex), so it is
+  // built in place when a cache directory is configured.
+  std::optional<cache::Store> store;
+  if (!config.cache_dir.empty()) store.emplace(config.cache_dir);
+  return mine_jobs(jobs, config, scheme, exec, store ? &*store : nullptr);
 }
 
 /// (topology × seed) job list for one implementation, in the serial
 /// loop-nest order (topologies outer, seeds inner).
 template <typename Setup>
-std::vector<ScenarioJob> scenario_jobs(const ExperimentConfig& config,
-                                       const std::string& impl_name,
-                                       Setup&& setup) {
-  std::vector<ScenarioJob> jobs;
+std::vector<CachedJob> scenario_jobs(const ExperimentConfig& config,
+                                     const std::string& impl_name,
+                                     Setup&& setup) {
+  std::vector<CachedJob> jobs;
   jobs.reserve(config.topologies.size() * config.seeds.size());
   for (const auto& spec : config.topologies) {
     for (const auto seed : config.seeds) {
       Scenario s = config.scenario_for(spec, seed);
       setup(s);
-      jobs.push_back(
-          ScenarioJob{std::move(s), job_label(impl_name, spec, seed)});
+      jobs.push_back(CachedJob{std::move(s), job_label(impl_name, spec, seed),
+                               config.miner_config()});
     }
   }
   return jobs;
@@ -82,7 +99,7 @@ AuditResult audit_impls(const std::vector<Profile>& profiles,
                         const ExperimentConfig& config,
                         const mining::KeyScheme& scheme, Setup&& setup) {
   AuditResult result;
-  std::vector<ScenarioJob> jobs;
+  std::vector<CachedJob> jobs;
   for (const auto& p : profiles) {
     result.names.push_back(p.name);
     auto impl_jobs =
@@ -179,89 +196,75 @@ AuditResult audit_bgp(const std::vector<bgp::BgpProfile>& profiles,
 std::vector<SweepPoint> tdelay_sweep(const ospf::BehaviorProfile& profile,
                                      const ExperimentConfig& base,
                                      const std::vector<SimDuration>& tdelays,
-                                     const mining::KeyScheme& scheme) {
-  // Per-scenario partial sums; accumulated per sweep point in canonical
-  // order, so integer totals (and the ratios derived from them) match the
-  // serial nest bit-for-bit.
-  struct Partial {
-    std::size_t mined_pairs = 0;
-    std::size_t truth_pairs = 0;
-    std::size_t correct_pairs = 0;
-    std::size_t mined_cells = 0;
-    std::size_t unobserved = 0;
-    std::size_t spurious = 0;
-  };
-
+                                     const mining::KeyScheme& scheme,
+                                     ExecReport* exec) {
   // Flatten (tdelay × topology × seed) into one fan-out so short TDelay
-  // points do not leave workers idle while long ones finish.
-  std::vector<ExperimentConfig> configs;
-  configs.reserve(tdelays.size());
+  // points do not leave workers idle while long ones finish. Each job
+  // carries its point's miner config — it is part of the cache key, so a
+  // re-run of a sweep (or a different sweep sharing points) hits.
+  std::vector<CachedJob> jobs;
   for (const auto tdelay : tdelays) {
     ExperimentConfig c = base;
     c.tdelay = tdelay;
-    configs.push_back(std::move(c));
-  }
-
-  struct SweepJob {
-    const ExperimentConfig* config;
-    Scenario scenario;
-    std::string label;
-  };
-  std::vector<SweepJob> jobs;
-  for (const auto& config : configs) {
-    for (const auto& spec : config.topologies) {
-      for (const auto seed : config.seeds) {
-        Scenario s = config.scenario_for(spec, seed);
+    for (const auto& spec : c.topologies) {
+      for (const auto seed : c.seeds) {
+        Scenario s = c.scenario_for(spec, seed);
         s.ospf_profile = profile;
-        jobs.push_back(SweepJob{
-            &config, std::move(s),
-            std::to_string(config.tdelay.count() / 1000) + "ms/" +
-                job_label(profile.name, spec, seed)});
+        jobs.push_back(
+            CachedJob{std::move(s),
+                      std::to_string(tdelay.count() / 1000) + "ms/" +
+                          job_label(profile.name, spec, seed),
+                      c.miner_config()});
       }
     }
   }
 
-  std::vector<std::string> labels;
-  labels.reserve(jobs.size());
-  for (const auto& j : jobs) labels.push_back(j.label);
+  std::optional<cache::Store> store;
+  if (!base.cache_dir.empty()) store.emplace(base.cache_dir);
+  // Per-scenario integer partials (cache::SweepStats); accumulated per
+  // sweep point in canonical order, so integer totals (and the ratios
+  // derived from them) match the serial nest bit-for-bit whether each
+  // partial was computed or replayed from the cache.
+  auto entries = run_cached(
+      jobs, base.jobs, store ? &*store : nullptr,
+      cache::PayloadKind::kSweepStats, scheme.name,
+      [&](const CachedJob& job) {
+        const mining::CausalMiner miner(job.miner);
+        const ScenarioResult run = run_scenario(job.scenario);
+        const auto pairs = miner.mine_pairs(run.log);
+        const auto acc = mining::score_pairs(run.log, pairs);
+        const auto set = miner.classify(run.log, pairs, scheme);
+        const auto cells = mining::score_cells(run.log, set, scheme);
+        cache::Entry entry;
+        entry.kind = cache::PayloadKind::kSweepStats;
+        entry.summary = summarize(run);
+        entry.sweep.mined_pairs = acc.mined;
+        entry.sweep.truth_pairs = acc.truth;
+        entry.sweep.correct_pairs = acc.correct;
+        entry.sweep.mined_cells = cells.mined_cells;
+        entry.sweep.unobserved_cells = cells.unobserved;
+        entry.sweep.spurious_cells = cells.spurious;
+        return entry;
+      },
+      exec);
 
-  ParallelExecutor executor(base.jobs);
-  auto partials = executor.run_indexed(jobs.size(), labels, [&](std::size_t i) {
-    const auto& job = jobs[i];
-    const mining::CausalMiner miner(job.config->miner_config());
-    const ScenarioResult run = run_scenario(job.scenario);
-    const auto pairs = miner.mine_pairs(run.log);
-    const auto acc = mining::score_pairs(run.log, pairs);
-    const auto set = miner.classify(run.log, pairs, scheme);
-    const auto cells = mining::score_cells(run.log, set, scheme);
-    Partial p;
-    p.mined_pairs = acc.mined;
-    p.truth_pairs = acc.truth;
-    p.correct_pairs = acc.correct;
-    p.mined_cells = cells.mined_cells;
-    p.unobserved = cells.unobserved;
-    p.spurious = cells.spurious;
-    return p;
-  });
-
-  const std::size_t per_point =
-      base.topologies.size() * base.seeds.size();
+  const std::size_t per_point = base.topologies.size() * base.seeds.size();
   std::vector<SweepPoint> out;
   out.reserve(tdelays.size());
   for (std::size_t t = 0; t < tdelays.size(); ++t) {
     SweepPoint point;
     point.tdelay = tdelays[t];
-    std::size_t mined_pairs = 0;
-    std::size_t truth_pairs = 0;
-    std::size_t correct_pairs = 0;
+    std::uint64_t mined_pairs = 0;
+    std::uint64_t truth_pairs = 0;
+    std::uint64_t correct_pairs = 0;
     for (std::size_t i = 0; i < per_point; ++i) {
-      const auto& p = partials[t * per_point + i];
+      const auto& p = entries[t * per_point + i].sweep;
       mined_pairs += p.mined_pairs;
       truth_pairs += p.truth_pairs;
       correct_pairs += p.correct_pairs;
       point.mined_cells += p.mined_cells;
-      point.unobserved_cells += p.unobserved;
-      point.spurious_cells += p.spurious;
+      point.unobserved_cells += p.unobserved_cells;
+      point.spurious_cells += p.spurious_cells;
     }
     point.precision =
         mined_pairs == 0 ? 1.0

@@ -45,6 +45,12 @@ struct ExperimentConfig {
   /// changes nothing in the reports while shrinking sweep memory. CLI
   /// --keep-bytes flips it (needed for pcap export of audit traces).
   bool keep_bytes = false;
+  /// Directory of the persistent scenario-result cache (see cache::Store).
+  /// Empty — the default — disables caching. Executor-level knob like
+  /// `jobs`, exempt from the scenario_for copy-through: the cache location
+  /// cannot change what a scenario computes (content-addressed keys cover
+  /// every knob that can), only whether it is recomputed.
+  std::string cache_dir;
 
   mining::MinerConfig miner_config() const {
     mining::MinerConfig m;
@@ -136,7 +142,8 @@ struct SweepPoint {
 std::vector<SweepPoint> tdelay_sweep(const ospf::BehaviorProfile& profile,
                                      const ExperimentConfig& base,
                                      const std::vector<SimDuration>& tdelays,
-                                     const mining::KeyScheme& scheme);
+                                     const mining::KeyScheme& scheme,
+                                     ExecReport* exec = nullptr);
 
 /// E4: cumulative relationship count as topologies are added one by one.
 struct ExtensivenessPoint {

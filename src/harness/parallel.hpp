@@ -45,11 +45,20 @@ struct ExecReport {
   double wall_ms = 0.0;              ///< wall time of the fan-out(s)
   std::vector<TaskTiming> tasks;     ///< canonical index order
 
+  // Result-cache telemetry (all zero when no --cache-dir is configured).
+  std::uint64_t cache_hits = 0;    ///< scenarios served from the cache
+  std::uint64_t cache_misses = 0;  ///< scenarios simulated (and stored)
+  /// Scenarios whose key duplicated an earlier scenario of the same
+  /// fan-out: computed (or fetched) once, fanned in to every duplicate.
+  std::uint64_t cache_dedup = 0;
+  std::uint64_t cache_stores = 0;  ///< entries written to the store
+
   /// Folds another fan-out's telemetry into this one (tasks append with
   /// re-based indices; wall times add; depth takes the max).
   void accumulate(const ExecReport& other);
 
   /// {"jobs":N,"max_queue_depth":...,"tasks_run":...,"wall_ms":...,
+  ///  "cache":{"hits":...,"misses":...,"in_flight_dedup":...,"stores":...},
   ///  "scenarios":[{"index":i,"label":"...","wall_ms":...},...]}
   std::string to_json() const;
 };

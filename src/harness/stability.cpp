@@ -2,43 +2,57 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+
+#include "harness/cached_fanout.hpp"
 
 namespace nidkit::harness {
 
 namespace {
 
-/// Mined relation sets for every seed — one fan-out over the flattened
-/// (seed × topology) scenario list, then per-seed unions in canonical
-/// topology order, matching the serial per-seed loop bit-for-bit.
+/// Mined relation sets for every seed — one cache-aware fan-out over the
+/// flattened (seed × topology) scenario list, then per-seed unions in
+/// canonical topology order, matching the serial per-seed loop
+/// bit-for-bit. The per-scenario keys are identical to the audit
+/// pipeline's, so a stability report over audited settings replays the
+/// audit's cached scenarios instead of re-simulating them.
 std::vector<mining::RelationSet> mine_per_seed(
     const ospf::BehaviorProfile& profile, const ExperimentConfig& config,
-    const mining::KeyScheme& scheme) {
+    const mining::KeyScheme& scheme, ExecReport* exec) {
   const mining::CausalMiner miner(config.miner_config());
 
-  std::vector<Scenario> scenarios;
-  std::vector<std::string> labels;
+  std::vector<CachedJob> jobs;
   for (const auto seed : config.seeds) {
     for (const auto& spec : config.topologies) {
       Scenario s = config.scenario_for(spec, seed);
       s.ospf_profile = profile;
-      scenarios.push_back(std::move(s));
-      labels.push_back(profile.name + "/" + spec.name() + "/s" +
-                       std::to_string(seed));
+      jobs.push_back(CachedJob{std::move(s),
+                               profile.name + "/" + spec.name() + "/s" +
+                                   std::to_string(seed),
+                               config.miner_config()});
     }
   }
 
-  ParallelExecutor executor(config.jobs);
-  auto sets =
-      executor.run_indexed(scenarios.size(), labels, [&](std::size_t i) {
-        const ScenarioResult run = run_scenario(scenarios[i]);
-        return miner.mine(run.log, scheme);
-      });
+  std::optional<cache::Store> store;
+  if (!config.cache_dir.empty()) store.emplace(config.cache_dir);
+  auto entries = run_cached(
+      jobs, config.jobs, store ? &*store : nullptr,
+      cache::PayloadKind::kMinedRelations, scheme.name,
+      [&](const CachedJob& job) {
+        const ScenarioResult run = run_scenario(job.scenario);
+        cache::Entry entry;
+        entry.kind = cache::PayloadKind::kMinedRelations;
+        entry.summary = summarize(run);
+        entry.relations = miner.mine(run.log, scheme);
+        return entry;
+      },
+      exec);
 
   std::vector<mining::RelationSet> per_seed(config.seeds.size());
   std::size_t next = 0;
   for (std::size_t s = 0; s < config.seeds.size(); ++s)
     for (std::size_t t = 0; t < config.topologies.size(); ++t)
-      per_seed[s].merge(sets[next++]);
+      per_seed[s].merge(entries[next++].relations);
   return per_seed;
 }
 
@@ -46,11 +60,11 @@ std::vector<mining::RelationSet> mine_per_seed(
 
 std::vector<CellStability> ospf_relation_stability(
     const ospf::BehaviorProfile& profile, const ExperimentConfig& config,
-    const mining::KeyScheme& scheme) {
+    const mining::KeyScheme& scheme, ExecReport* exec) {
   using Key = std::pair<mining::RelationDirection, mining::RelationCell>;
   std::map<Key, CellStability> acc;
 
-  for (const auto& set : mine_per_seed(profile, config, scheme)) {
+  for (const auto& set : mine_per_seed(profile, config, scheme, exec)) {
     for (const auto dir : {mining::RelationDirection::kSendToRecv,
                            mining::RelationDirection::kRecvToSend}) {
       for (const auto& [cell, stats] : set.cells(dir)) {

@@ -54,19 +54,23 @@ const RelationStats* RelationSet::find(RelationDirection dir,
 void RelationSet::merge(const RelationSet& other) {
   for (const auto dir :
        {RelationDirection::kSendToRecv, RelationDirection::kRecvToSend}) {
-    auto& mine = dir == RelationDirection::kSendToRecv ? send_to_recv_
-                                                       : recv_to_send_;
-    for (const auto& [cell, stats] : other.cells(dir)) {
-      auto [it, inserted] = mine.try_emplace(cell, stats);
-      if (!inserted) {
-        it->second.count += stats.count;
-        if (earlier_evidence(stats.first_seen, stats.example_stimulus,
-                             stats.example_response, it->second)) {
-          it->second.first_seen = stats.first_seen;
-          it->second.example_stimulus = stats.example_stimulus;
-          it->second.example_response = stats.example_response;
-        }
-      }
+    for (const auto& [cell, stats] : other.cells(dir))
+      add_stats(dir, cell, stats);
+  }
+}
+
+void RelationSet::add_stats(RelationDirection dir, const RelationCell& cell,
+                            const RelationStats& stats) {
+  auto& table = dir == RelationDirection::kSendToRecv ? send_to_recv_
+                                                      : recv_to_send_;
+  auto [it, inserted] = table.try_emplace(cell, stats);
+  if (!inserted) {
+    it->second.count += stats.count;
+    if (earlier_evidence(stats.first_seen, stats.example_stimulus,
+                         stats.example_response, it->second)) {
+      it->second.first_seen = stats.first_seen;
+      it->second.example_stimulus = stats.example_stimulus;
+      it->second.example_response = stats.example_response;
     }
   }
 }

@@ -64,6 +64,13 @@ class RelationSet {
   /// bit-for-bit.
   void merge(const RelationSet& other);
 
+  /// Reinstates one fully-specified cell — the deserialization path (see
+  /// relation_codec.hpp). Equivalent to merging a singleton set holding
+  /// exactly `stats`, so restoring into a non-empty set accumulates like
+  /// merge() and decode(encode(s)) reproduces `s` exactly.
+  void add_stats(RelationDirection dir, const RelationCell& cell,
+                 const RelationStats& stats);
+
   const std::map<RelationCell, RelationStats>& cells(
       RelationDirection dir) const {
     return dir == RelationDirection::kSendToRecv ? send_to_recv_

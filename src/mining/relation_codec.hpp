@@ -1,0 +1,42 @@
+// Compact binary codec for mined relationship sets.
+//
+// The result cache (src/cache/) persists each scenario's mined
+// RelationSet; for a cache hit to be undetectable downstream, decoding
+// must reproduce the set *exactly* — cell maps, counts, first_seen
+// timestamps and the example trace indices all bit-identical — so merge
+// order, discrepancy detection and the report JSON do not depend on
+// whether a set was mined or replayed. Both directions' cells are encoded
+// in their map (i.e. canonical cell) order, which also makes
+// encode(decode(bytes)) == bytes: the encoding of a set is unique.
+//
+// All integers are big-endian (util::ByteWriter / ByteReader), labels are
+// u32-length-prefixed UTF-8, SimTime is the raw microsecond count as a
+// signed 64-bit value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "mining/relation.hpp"
+#include "util/bytes.hpp"
+
+namespace nidkit::mining {
+
+/// Appends the canonical encoding of `set` to `out`.
+void encode_relations(const RelationSet& set, ByteWriter& out);
+
+/// Decodes one RelationSet from `in`. Returns nullopt on truncated or
+/// malformed input (the reader's error flag is also left set). Leaves the
+/// reader positioned after the set on success, so the codec composes with
+/// surrounding cache-entry framing.
+std::optional<RelationSet> decode_relations(ByteReader& in);
+
+/// Convenience one-shot encode.
+std::vector<std::uint8_t> encode_relations(const RelationSet& set);
+
+/// Convenience one-shot decode; input must contain exactly one set.
+std::optional<RelationSet> decode_relations(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace nidkit::mining

@@ -1,0 +1,24 @@
+#include "util/fingerprint.hpp"
+
+#include "util/md5.hpp"
+
+namespace nidkit::util {
+
+std::string Digest128::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const auto b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+Digest128 Fingerprint::digest() const {
+  Digest128 out;
+  out.bytes = md5(writer_.view());
+  return out;
+}
+
+}  // namespace nidkit::util

@@ -1,0 +1,77 @@
+// Streaming 128-bit content fingerprints.
+//
+// The result cache (src/cache/) addresses entries by a fingerprint over
+// every simulation-affecting input; a fingerprint collision would silently
+// serve one scenario's results for another, so a 128-bit digest (MD5 over
+// a canonically serialized field stream) is used rather than a 64-bit
+// mixing hash. MD5 is fine here: the inputs are our own configuration
+// structs, not attacker-controlled data, and what matters is collision
+// probability under random inputs, not preimage resistance.
+//
+// Encoding discipline: every field is appended in a fixed order with a
+// fixed width (integers big-endian, doubles as IEEE-754 bit patterns,
+// strings and byte blobs length-prefixed), so the byte stream — and hence
+// the digest — is identical across platforms and process runs.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace nidkit::util {
+
+/// A 128-bit digest value: comparable, hashable into a hex file name.
+struct Digest128 {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// 32 lowercase hex characters.
+  std::string hex() const;
+
+  friend auto operator<=>(const Digest128&, const Digest128&) = default;
+};
+
+/// Accumulates typed fields and produces their Digest128.
+class Fingerprint {
+ public:
+  Fingerprint() : writer_(128) {}
+
+  void u8(std::uint8_t v) { writer_.u8(v); }
+  void u16(std::uint16_t v) { writer_.u16(v); }
+  void u32(std::uint32_t v) { writer_.u32(v); }
+  void u64(std::uint64_t v) {
+    writer_.u32(static_cast<std::uint32_t>(v >> 32));
+    writer_.u32(static_cast<std::uint32_t>(v));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { writer_.u8(v ? 1 : 0); }
+  /// Exact bit pattern — distinguishes 0.0 from -0.0, which is the safe
+  /// direction for a cache key (at worst a spurious miss).
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view v) {
+    u64(v.size());
+    writer_.bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(v.data()), v.size()));
+  }
+  void bytes(std::span<const std::uint8_t> v) {
+    u64(v.size());
+    writer_.bytes(v);
+  }
+
+  /// Bytes appended so far (the digest preimage; exposed for tests).
+  std::size_t size() const { return writer_.size(); }
+
+  /// Digest of everything appended so far. May be called repeatedly as
+  /// more fields arrive.
+  Digest128 digest() const;
+
+ private:
+  ByteWriter writer_;
+};
+
+}  // namespace nidkit::util

@@ -1,0 +1,223 @@
+#include "cache/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cache/key.hpp"
+#include "harness/scenario.hpp"
+
+namespace nidkit::cache {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+constexpr auto kSR = mining::RelationDirection::kSendToRecv;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("nidkit_store_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static ScenarioKey key_for_seed(std::uint64_t seed) {
+    harness::Scenario s;
+    s.seed = seed;
+    return scenario_key(s, {}, "type", PayloadKind::kMinedRelations);
+  }
+
+  static Entry sample_entry() {
+    Entry entry;
+    entry.kind = PayloadKind::kMinedRelations;
+    entry.summary.routers = 3;
+    entry.summary.converged = true;
+    entry.summary.convergence_time_us = 42'000'000;
+    entry.summary.frames_delivered = 123;
+    entry.relations.add(kSR, {"LSU", "LSAck"}, SimTime{1s}, 5, 6);
+    return entry;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreTest, MissThenPutThenMemoryHit) {
+  Store store(dir_);
+  const auto key = key_for_seed(1);
+  EXPECT_FALSE(store.get(key).has_value());
+  EXPECT_EQ(store.counters().misses, 1u);
+
+  store.put(key, sample_entry());
+  const auto back = store.get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->summary, sample_entry().summary);
+  EXPECT_TRUE(back->relations.has(kSR, "LSU", "LSAck"));
+  EXPECT_EQ(store.counters().memory_hits, 1u);
+  EXPECT_EQ(store.counters().stores, 1u);
+}
+
+TEST_F(StoreTest, PersistsAcrossStoreInstances) {
+  const auto key = key_for_seed(2);
+  {
+    Store store(dir_);
+    store.put(key, sample_entry());
+  }
+  Store fresh(dir_);
+  const auto back = fresh.get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(fresh.counters().disk_hits, 1u);
+  EXPECT_EQ(back->summary, sample_entry().summary);
+  const auto* stats = back->relations.find(kSR, {"LSU", "LSAck"});
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->first_seen, SimTime{1s});
+  EXPECT_EQ(stats->example_stimulus, 5u);
+
+  // The disk hit was promoted: a second lookup is a memory hit.
+  EXPECT_TRUE(fresh.get(key).has_value());
+  EXPECT_EQ(fresh.counters().memory_hits, 1u);
+}
+
+TEST_F(StoreTest, EntryLandsInShardedLayout) {
+  const auto key = key_for_seed(3);
+  Store store(dir_);
+  store.put(key, sample_entry());
+  const auto path = fs::path(dir_) / key.prefix() / (key.hex() + ".nidc");
+  EXPECT_TRUE(fs::exists(path));
+  // No temp droppings left behind.
+  for (const auto& e : fs::recursive_directory_iterator(dir_)) {
+    if (e.is_regular_file()) {
+      EXPECT_EQ(e.path().extension(), ".nidc");
+    }
+  }
+}
+
+TEST_F(StoreTest, SweepStatsRoundTrip) {
+  Entry entry;
+  entry.kind = PayloadKind::kSweepStats;
+  entry.sweep = {10, 11, 9, 20, 2, 1};
+  harness::Scenario s;
+  const auto key = scenario_key(s, {}, "type", PayloadKind::kSweepStats);
+  {
+    Store store(dir_);
+    store.put(key, entry);
+  }
+  Store fresh(dir_);
+  const auto back = fresh.get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, PayloadKind::kSweepStats);
+  EXPECT_EQ(back->sweep, entry.sweep);
+}
+
+TEST_F(StoreTest, CorruptFileIsAMissNotAnError) {
+  const auto key = key_for_seed(4);
+  {
+    Store store(dir_);
+    store.put(key, sample_entry());
+  }
+  const auto path = fs::path(dir_) / key.prefix() / (key.hex() + ".nidc");
+  std::ofstream(path, std::ios::binary) << "not a cache entry";
+
+  Store fresh(dir_);
+  EXPECT_FALSE(fresh.get(key).has_value());
+  EXPECT_EQ(fresh.counters().bad_entries, 1u);
+  EXPECT_EQ(fresh.counters().misses, 1u);
+}
+
+TEST_F(StoreTest, RenamedEntryCannotServeTheWrongKey) {
+  // A valid entry copied under another key's file name must not satisfy
+  // that key: the embedded key echo catches it.
+  const auto key_a = key_for_seed(5);
+  const auto key_b = key_for_seed(6);
+  {
+    Store store(dir_);
+    store.put(key_a, sample_entry());
+  }
+  const auto path_a = fs::path(dir_) / key_a.prefix() / (key_a.hex() + ".nidc");
+  const auto path_b = fs::path(dir_) / key_b.prefix() / (key_b.hex() + ".nidc");
+  fs::create_directories(path_b.parent_path());
+  fs::copy_file(path_a, path_b);
+
+  Store fresh(dir_);
+  EXPECT_FALSE(fresh.get(key_b).has_value());
+  EXPECT_EQ(fresh.counters().bad_entries, 1u);
+}
+
+TEST_F(StoreTest, EncodeDecodeEntryRejectsTampering) {
+  const auto key = key_for_seed(7);
+  auto bytes = encode_entry(key, sample_entry());
+  ASSERT_TRUE(decode_entry(key, bytes).has_value());
+
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(decode_entry(key, truncated).has_value());
+
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_entry(key, trailing).has_value());
+
+  auto flipped = bytes;
+  flipped[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(decode_entry(key, flipped).has_value());
+}
+
+TEST_F(StoreTest, LsListsEntriesSortedByKey) {
+  Store store(dir_);
+  const auto key_a = key_for_seed(8);
+  const auto key_b = key_for_seed(9);
+  store.put(key_a, sample_entry());
+  store.put(key_b, sample_entry());
+
+  const auto entries = Store::ls(dir_);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries[0].key.hex(), entries[1].key.hex());
+  for (const auto& e : entries) {
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.kind, PayloadKind::kMinedRelations);
+    EXPECT_GT(e.bytes, 0u);
+    EXPECT_GE(e.age_seconds, 0.0);
+  }
+}
+
+TEST_F(StoreTest, PruneRemovesOldAndInvalidEntries) {
+  Store store(dir_);
+  store.put(key_for_seed(10), sample_entry());
+  store.put(key_for_seed(11), sample_entry());
+  // Corrupt one entry: prune removes it regardless of age.
+  const auto victim = key_for_seed(11);
+  std::ofstream(fs::path(dir_) / victim.prefix() / (victim.hex() + ".nidc"),
+                std::ios::binary)
+      << "junk";
+
+  EXPECT_EQ(Store::prune(dir_, 365.0), 1u);  // only the invalid one
+  EXPECT_EQ(Store::ls(dir_).size(), 1u);
+  EXPECT_EQ(Store::prune(dir_, 0.0), 1u);  // everything is "old" now
+  EXPECT_TRUE(Store::ls(dir_).empty());
+}
+
+TEST_F(StoreTest, ClearRemovesEverything) {
+  Store store(dir_);
+  store.put(key_for_seed(12), sample_entry());
+  store.put(key_for_seed(13), sample_entry());
+  EXPECT_EQ(Store::clear(dir_), 2u);
+  EXPECT_TRUE(Store::ls(dir_).empty());
+  // Shard directories are gone too.
+  EXPECT_TRUE(!fs::exists(dir_) || fs::is_empty(dir_));
+}
+
+TEST_F(StoreTest, MaintenanceOnMissingDirIsHarmless) {
+  EXPECT_TRUE(Store::ls(dir_ + "/nope").empty());
+  EXPECT_EQ(Store::prune(dir_ + "/nope", 0.0), 0u);
+  EXPECT_EQ(Store::clear(dir_ + "/nope"), 0u);
+}
+
+}  // namespace
+}  // namespace nidkit::cache

@@ -172,5 +172,65 @@ TEST(Cli, StabilityPrintsSeedFractions) {
   EXPECT_NE(r.out.find("2/2"), std::string::npos);
 }
 
+TEST(ParseArgs, CacheSubcommandAndSwitches) {
+  std::ostringstream err;
+  const auto args =
+      parse_args({"cache", "prune", "--cache-dir", "/tmp/c", "--no-cache"},
+                 err);
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->command, "cache");
+  EXPECT_EQ(args->subcommand, "prune");
+  EXPECT_TRUE(args->has("no-cache"));  // boolean switch, no value consumed
+  EXPECT_EQ(args->get("cache-dir", ""), "/tmp/c");
+  // Other commands still reject a second positional.
+  EXPECT_FALSE(parse_args({"audit", "prune"}, err).has_value());
+}
+
+TEST(Cli, CacheNeedsADirectory) {
+  const auto r = run({"cache", "ls", "--no-cache"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("cache-dir"), std::string::npos);
+}
+
+TEST(Cli, CacheRejectsUnknownAction) {
+  const auto r = run({"cache", "frobnicate", "--cache-dir", "cli_cache.tmp"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown cache action"), std::string::npos);
+}
+
+TEST(Cli, WarmAuditIsByteIdenticalAndMaintainable) {
+  const std::string dir = "cli_cache_test.tmp";
+  run({"cache", "clear", "--cache-dir", dir});
+  const std::initializer_list<std::string> audit = {
+      "audit", "--impls", "frr,bird", "--topos", "linear-2", "--seeds", "1",
+      "--duration-s", "90", "--format", "json", "--cache-dir", dir};
+  const auto cold = run(audit);
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  const auto warm = run(audit);
+  EXPECT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(cold.out, warm.out);
+
+  const auto ls = run({"cache", "ls", "--cache-dir", dir});
+  EXPECT_EQ(ls.code, 0) << ls.err;
+  EXPECT_NE(ls.out.find("2 entries"), std::string::npos);
+
+  const auto cleared = run({"cache", "clear", "--cache-dir", dir});
+  EXPECT_EQ(cleared.code, 0);
+  EXPECT_NE(cleared.out.find("cleared 2"), std::string::npos);
+  const auto empty = run({"cache", "ls", "--cache-dir", dir});
+  EXPECT_NE(empty.out.find("0 entries"), std::string::npos);
+}
+
+TEST(Cli, NoCacheOverridesCacheDir) {
+  const std::string dir = "cli_nocache_test.tmp";
+  run({"cache", "clear", "--cache-dir", dir});
+  const auto r = run({"audit", "--impls", "frr,bird", "--topos", "linear-2",
+                      "--seeds", "1", "--duration-s", "90", "--cache-dir",
+                      dir, "--no-cache"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const auto ls = run({"cache", "ls", "--cache-dir", dir});
+  EXPECT_NE(ls.out.find("0 entries"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nidkit::cli

@@ -1,0 +1,160 @@
+#include "mining/relation_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mining/relation.hpp"
+
+namespace nidkit::mining {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kSR = RelationDirection::kSendToRecv;
+constexpr auto kRS = RelationDirection::kRecvToSend;
+
+bool sets_equal(const RelationSet& a, const RelationSet& b) {
+  for (const auto dir : {kSR, kRS}) {
+    const auto& ca = a.cells(dir);
+    const auto& cb = b.cells(dir);
+    if (ca.size() != cb.size()) return false;
+    auto ib = cb.begin();
+    for (const auto& [cell, stats] : ca) {
+      if (cell != ib->first) return false;
+      const auto& sb = ib->second;
+      if (stats.count != sb.count || stats.first_seen != sb.first_seen ||
+          stats.example_stimulus != sb.example_stimulus ||
+          stats.example_response != sb.example_response)
+        return false;
+      ++ib;
+    }
+  }
+  return true;
+}
+
+TEST(RelationCodec, EmptySetRoundTrips) {
+  const RelationSet empty;
+  const auto bytes = encode_relations(empty);
+  const auto back = decode_relations(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 0u);
+  EXPECT_EQ(encode_relations(*back), bytes);
+}
+
+TEST(RelationCodec, SingleCellRoundTripsExactly) {
+  RelationSet set;
+  set.add(kSR, {"LSU", "LSAck"}, SimTime{1500ms}, 42, 43);
+  set.add(kSR, {"LSU", "LSAck"}, SimTime{3s}, 90, 91);  // count -> 2
+  const auto bytes = encode_relations(set);
+  const auto back = decode_relations(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(sets_equal(set, *back));
+  const auto* stats = back->find(kSR, {"LSU", "LSAck"});
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 2u);
+  EXPECT_EQ(stats->first_seen, SimTime{1500ms});
+  EXPECT_EQ(stats->example_stimulus, 42u);
+  EXPECT_EQ(stats->example_response, 43u);
+}
+
+TEST(RelationCodec, NegativeFirstSeenSurvives) {
+  RelationSet set;
+  RelationStats stats;
+  stats.count = 1;
+  stats.first_seen = SimTime{-1s};
+  set.add_stats(kRS, {"A", "B"}, stats);
+  const auto back = decode_relations(encode_relations(set));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find(kRS, {"A", "B"})->first_seen, SimTime{-1s});
+}
+
+/// A pseudo-random set: both directions, colliding labels, large counts
+/// and indices, tied first_seen values across distinct cells.
+RelationSet random_set(std::uint64_t seed, int cells) {
+  std::mt19937_64 rng(seed);
+  const std::vector<std::string> labels = {
+      "Hello", "DD", "LSR", "LSU", "LSAck", "LSU-stale", "", "x"};
+  RelationSet set;
+  for (int i = 0; i < cells; ++i) {
+    const auto dir = (rng() % 2) ? kSR : kRS;
+    RelationStats stats;
+    stats.count = rng() % 1'000'000 + 1;
+    stats.first_seen = SimTime{static_cast<std::int64_t>(rng() % 5) * 1000};
+    stats.example_stimulus = rng();
+    stats.example_response = rng();
+    set.add_stats(dir,
+                  {labels[rng() % labels.size()], labels[rng() % labels.size()]},
+                  stats);
+  }
+  return set;
+}
+
+TEST(RelationCodec, EncodeDecodeEncodeIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto set = random_set(seed, 40);
+    const auto bytes = encode_relations(set);
+    const auto back = decode_relations(bytes);
+    ASSERT_TRUE(back.has_value()) << "seed " << seed;
+    EXPECT_TRUE(sets_equal(set, *back)) << "seed " << seed;
+    // The canonical encoding is unique: re-encoding the decoded set must
+    // reproduce the input bytes exactly.
+    EXPECT_EQ(encode_relations(*back), bytes) << "seed " << seed;
+  }
+}
+
+TEST(RelationCodec, MergeCommutesWithCodec) {
+  // merge(decode(enc(a)), decode(enc(b))) == decode(enc(merge(a, b))):
+  // replaying cached per-scenario sets and merging them is
+  // indistinguishable from merging freshly mined sets.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto a = random_set(seed, 25);
+    const auto b = random_set(seed + 1000, 25);
+
+    auto merged_fresh = a;
+    merged_fresh.merge(b);
+
+    auto da = decode_relations(encode_relations(a));
+    const auto db = decode_relations(encode_relations(b));
+    ASSERT_TRUE(da && db);
+    da->merge(*db);
+
+    EXPECT_TRUE(sets_equal(merged_fresh, *da)) << "seed " << seed;
+    EXPECT_EQ(encode_relations(merged_fresh), encode_relations(*da))
+        << "seed " << seed;
+  }
+}
+
+TEST(RelationCodec, TruncatedInputIsRejected) {
+  RelationSet set;
+  set.add(kSR, {"LSU", "LSAck"}, SimTime{1s}, 1, 2);
+  const auto bytes = encode_relations(set);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_FALSE(decode_relations(prefix).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(RelationCodec, TrailingGarbageIsRejected) {
+  RelationSet set;
+  set.add(kRS, {"A", "B"}, SimTime{1s}, 1, 2);
+  auto bytes = encode_relations(set);
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_relations(bytes).has_value());
+}
+
+TEST(RelationCodec, HugeLabelLengthDoesNotAllocate) {
+  // A length prefix larger than the remaining input must fail cleanly
+  // (no attempt to allocate the claimed size).
+  ByteWriter out;
+  out.u32(1);           // one send->recv cell
+  out.u32(0xFFFFFFFF);  // absurd stimulus label length
+  ByteReader in(out.view());
+  EXPECT_FALSE(decode_relations(in).has_value());
+  EXPECT_FALSE(in.ok());
+}
+
+}  // namespace
+}  // namespace nidkit::mining
