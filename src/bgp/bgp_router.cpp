@@ -62,7 +62,7 @@ void BgpRouter::open_session(Peer& peer) {
   open.my_as = config_.as_number;
   open.hold_time = config_.profile.hold_time;
   open.bgp_identifier = config_.router_id;
-  peer.state = SessionState::kOpenSent;
+  set_session_state(peer, SessionState::kOpenSent);
   send_message(peer, open, current_cause_);
   // Retry if the OPEN exchange stalls.
   peer.retry_timer.cancel();
@@ -150,7 +150,7 @@ void BgpRouter::handle_open(Peer& peer, const OpenMessage& open) {
   }
   send_message(peer, KeepaliveMessage{}, current_cause_);
   if (peer.state == SessionState::kOpenSent)
-    peer.state = SessionState::kOpenConfirm;
+    set_session_state(peer, SessionState::kOpenConfirm);
   arm_hold(peer);
   arm_keepalive(peer);
 }
@@ -167,8 +167,14 @@ void BgpRouter::handle_keepalive(Peer& peer) {
   if (peer.state == SessionState::kOpenConfirm) session_established(peer);
 }
 
+void BgpRouter::set_session_state(Peer& peer, SessionState to) {
+  if (peer.state == to) return;
+  peer.state = to;
+  ++stats_.fsm_transitions;
+}
+
 void BgpRouter::session_established(Peer& peer) {
-  peer.state = SessionState::kEstablished;
+  set_session_state(peer, SessionState::kEstablished);
   peer.retry_timer.cancel();
   NIDKIT_LOG(kInfo, net_.sim().now(), "bgp",
              "AS" << config_.as_number << " session with AS" << peer.peer_as
@@ -213,7 +219,7 @@ void BgpRouter::reset_session(Peer& peer, bool send_cease) {
   if (send_cease && peer.state >= SessionState::kOpenConfirm)
     send_notification(peer, kErrorCease, 0, current_cause_);
   ++stats_.session_resets;
-  peer.state = SessionState::kIdle;
+  set_session_state(peer, SessionState::kIdle);
   peer.keepalive_timer.cancel();
   peer.hold_timer.cancel();
   peer.mrai_timer.cancel();

@@ -122,6 +122,8 @@ class BgpRouter {
     std::uint64_t loop_rejects = 0;
     std::uint64_t long_path_rejects = 0;
     std::uint64_t routes_selected = 0;
+    /// Session FSM state changes (any `state` reassignment to a new value).
+    std::uint64_t fsm_transitions = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -156,6 +158,8 @@ class BgpRouter {
   void handle_notification(Peer& peer, const NotificationMessage& notif);
   void session_established(Peer& peer);
   void reset_session(Peer& peer, bool send_cease);
+  /// All session FSM transitions funnel through here so stats count them.
+  void set_session_state(Peer& peer, SessionState to);
   void send_notification(Peer& peer, std::uint8_t code, std::uint8_t subcode,
                          std::uint64_t cause);
   void arm_keepalive(Peer& peer);

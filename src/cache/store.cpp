@@ -64,6 +64,34 @@ void encode_sweep(const SweepStats& s, ByteWriter& out) {
   write_u64(out, s.spurious_cells);
 }
 
+void encode_metrics(const obs::ScenarioMetrics& m, ByteWriter& out) {
+  const auto& entries = m.entries();
+  out.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [name, value] : entries) {
+    out.u16(static_cast<std::uint16_t>(name.size()));
+    out.bytes(std::span(reinterpret_cast<const std::uint8_t*>(name.data()),
+                        name.size()));
+    write_u64(out, value);
+  }
+}
+
+std::optional<obs::ScenarioMetrics> decode_metrics(ByteReader& in) {
+  obs::ScenarioMetrics m;
+  const std::uint32_t count = in.u32();
+  if (!in.ok()) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint16_t len = in.u16();
+    const auto name_bytes = in.bytes(len);
+    if (!in.ok()) return std::nullopt;
+    std::string name(reinterpret_cast<const char*>(name_bytes.data()),
+                     name_bytes.size());
+    const std::uint64_t value = read_u64(in);
+    if (!in.ok()) return std::nullopt;
+    m.set(name, value);
+  }
+  return m;
+}
+
 SweepStats decode_sweep(ByteReader& in) {
   SweepStats s;
   s.mined_pairs = read_u64(in);
@@ -151,6 +179,7 @@ std::vector<std::uint8_t> encode_entry(const ScenarioKey& key,
   out.bytes(key.digest.bytes);
   out.u8(static_cast<std::uint8_t>(entry.kind));
   encode_summary(entry.summary, out);
+  encode_metrics(entry.metrics, out);
   if (entry.kind == PayloadKind::kMinedRelations)
     mining::encode_relations(entry.relations, out);
   else
@@ -167,6 +196,9 @@ std::optional<Entry> decode_entry(const ScenarioKey& expected,
   entry.kind = *kind;
   entry.summary = decode_summary(in);
   if (!in.ok()) return std::nullopt;
+  auto metrics = decode_metrics(in);
+  if (!metrics) return std::nullopt;
+  entry.metrics = std::move(*metrics);
   if (entry.kind == PayloadKind::kMinedRelations) {
     auto relations = mining::decode_relations(in);
     if (!relations) return std::nullopt;

@@ -24,6 +24,7 @@
 
 #include "cache/key.hpp"
 #include "mining/relation.hpp"
+#include "obs/obs.hpp"
 #include "util/bytes.hpp"
 
 namespace nidkit::cache {
@@ -66,6 +67,9 @@ struct Entry {
   ScenarioSummary summary;
   mining::RelationSet relations;
   SweepStats sweep;
+  /// Deterministic per-scenario metric deltas, preserved so a warm cache
+  /// run replays exactly the metrics the original run produced.
+  obs::ScenarioMetrics metrics;
 };
 
 /// Serializes an entry with its file framing (magic, version, key echo).

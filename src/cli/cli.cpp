@@ -10,6 +10,7 @@
 #include "harness/experiment.hpp"
 #include "harness/injection.hpp"
 #include "harness/stability.hpp"
+#include "obs/obs.hpp"
 #include "trace/pcap.hpp"
 
 namespace nidkit::cli {
@@ -49,7 +50,7 @@ std::optional<Args> parse_args(const std::vector<std::string>& tokens,
       return std::nullopt;
     }
     // Boolean switches: presence means "on", no value token follows.
-    if (tok == "--keep-bytes" || tok == "--no-cache") {
+    if (tok == "--keep-bytes" || tok == "--no-cache" || tok == "--json") {
       args.flags[tok.substr(2)] = "1";
       i += 1;
       continue;
@@ -86,6 +87,8 @@ int usage(std::ostream& out) {
          "             [--format text|json]\n"
          "             [--tdelay-ms 900] [--seeds 1,2,3] [--duration-s 180]\n"
          "             [--jobs N] [--stats file.json|inline] [--keep-bytes]\n"
+         "             [--stats-out file.json] [--metrics-out m.json]\n"
+         "             [--trace-out t.json]\n"
          "  trace      --impl frr [--topo mesh-5] [--seed 1]\n"
          "             [--out trace.txt | --pcap capture.pcap]\n"
          "  mine       --in trace.txt [--tdelay-ms 900] [--scheme type]\n"
@@ -96,6 +99,7 @@ int usage(std::ostream& out) {
          "             confirm each by crafted-packet injection\n"
          "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3] [--jobs N]\n"
          "  cache      ls|prune|clear  --cache-dir DIR [--max-age-days 30]\n"
+         "             [--json]\n"
          "  help\n"
          "\n"
          "  --jobs N parallelizes scenario execution over N workers\n"
@@ -107,7 +111,14 @@ int usage(std::ostream& out) {
          "  by every simulation-affecting knob; repeat runs (audit, sweep,\n"
          "  stability) replay hits instead of re-simulating, with byte-\n"
          "  identical output. NIDKIT_CACHE_DIR sets a default directory;\n"
-         "  --no-cache overrides both.\n";
+         "  --no-cache overrides both.\n"
+         "  --stats-out FILE always writes executor telemetry to FILE (in\n"
+         "  addition to whatever --stats does). --metrics-out FILE writes\n"
+         "  an obs metrics snapshot: the \"sim\" section is deterministic\n"
+         "  (bit-identical for every --jobs value and cache temperature);\n"
+         "  the \"wall\" section holds wall-clock histograms and span\n"
+         "  counts. --trace-out FILE writes a Chrome trace-event JSON of\n"
+         "  the run's phase spans — open it in ui.perfetto.dev.\n";
   return 0;
 }
 
@@ -206,19 +217,89 @@ std::optional<harness::ExperimentConfig> config_from(const Args& args,
 }
 
 /// Writes executor telemetry to the --stats destination ("inline" is
-/// handled by the caller — it embeds into the report JSON instead).
+/// handled by the caller — it embeds into the report JSON instead) and,
+/// independently, to --stats-out (always a file).
 bool write_stats_file(const Args& args, const harness::ExecReport& exec,
                       std::ostream& err) {
-  const std::string path = args.get("stats", "");
-  if (path.empty() || path == "inline") return true;
-  std::ofstream file(path);
-  if (!file) {
-    err << "cannot open " << path << "\n";
-    return false;
-  }
-  file << exec.to_json() << "\n";
+  auto write_to = [&](const std::string& path) {
+    std::ofstream file(path);
+    if (!file) {
+      err << "cannot open " << path << "\n";
+      return false;
+    }
+    file << exec.to_json() << "\n";
+    return true;
+  };
+  const std::string stats = args.get("stats", "");
+  if (!stats.empty() && stats != "inline" && !write_to(stats)) return false;
+  const std::string stats_out = args.get("stats-out", "");
+  if (!stats_out.empty() && !write_to(stats_out)) return false;
   return true;
 }
+
+/// Scoped obs-registry session for one command: when --metrics-out or
+/// --trace-out is given, resets the registry and enables collection; on
+/// finish() writes the requested files and restores the previous enabled
+/// state (run_cli is re-entrant — tests share one process).
+class ObsSession {
+ public:
+  ObsSession(const Args& args, std::ostream& err)
+      : metrics_path_(args.get("metrics-out", "")),
+        trace_path_(args.get("trace-out", "")),
+        err_(err),
+        was_enabled_(obs::enabled()) {
+    if (active()) {
+      obs::Registry::instance().reset();
+      obs::set_enabled(true);
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (active() && !finished_) obs::set_enabled(was_enabled_);
+  }
+
+  bool active() const {
+    return !metrics_path_.empty() || !trace_path_.empty();
+  }
+
+  /// Writes the requested output files and restores the enabled state.
+  /// Returns false after reporting any I/O failure.
+  bool finish() {
+    if (!active() || finished_) return true;
+    finished_ = true;
+    bool ok = true;
+    if (!metrics_path_.empty()) {
+      std::ofstream file(metrics_path_);
+      if (!file) {
+        err_ << "cannot open " << metrics_path_ << "\n";
+        ok = false;
+      } else {
+        file << obs::Registry::instance().metrics_json();
+      }
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream file(trace_path_);
+      if (!file) {
+        err_ << "cannot open " << trace_path_ << "\n";
+        ok = false;
+      } else {
+        obs::Registry::instance().write_trace_json(file);
+      }
+    }
+    obs::set_enabled(was_enabled_);
+    return ok;
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::ostream& err_;
+  bool was_enabled_;
+  bool finished_ = false;
+};
 
 int cmd_audit(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string protocol = args.get("protocol", "ospf");
@@ -515,6 +596,20 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
       args.subcommand.empty() ? "ls" : args.subcommand;
   if (action == "ls") {
     const auto entries = cache::Store::ls(dir);
+    if (args.has("json")) {
+      out << "[";
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto& e = entries[i];
+        if (i) out << ",";
+        out << "{\"key\":\"" << e.key.hex() << "\",\"kind\":\""
+            << (e.kind == cache::PayloadKind::kSweepStats ? "sweep"
+                                                          : "mined")
+            << "\",\"bytes\":" << e.bytes << ",\"age_s\":" << e.age_seconds
+            << ",\"valid\":" << (e.valid ? "true" : "false") << "}";
+      }
+      out << "]\n";
+      return 0;
+    }
     out << "key kind bytes age_s valid\n";
     for (const auto& e : entries) {
       out << e.key.hex() << ' '
@@ -545,6 +640,17 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
   return 2;
 }
 
+/// Runs an experiment command inside an ObsSession so --metrics-out /
+/// --trace-out capture it. File-write failures fail an otherwise
+/// successful command.
+template <typename Fn>
+int with_obs(const Args& args, std::ostream& err, Fn&& fn) {
+  ObsSession session(args, err);
+  const int rc = fn();
+  if (!session.finish() && rc == 0) return 2;
+  return rc;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& tokens, std::ostream& out,
@@ -552,13 +658,17 @@ int run_cli(const std::vector<std::string>& tokens, std::ostream& out,
   auto args = parse_args(tokens, err);
   if (!args) return 2;
   if (args->command.empty() || args->command == "help") return usage(out);
-  if (args->command == "audit") return cmd_audit(*args, out, err);
+  if (args->command == "audit")
+    return with_obs(*args, err, [&] { return cmd_audit(*args, out, err); });
   if (args->command == "trace") return cmd_trace(*args, out, err);
   if (args->command == "mine") return cmd_mine(*args, out, err);
-  if (args->command == "sweep") return cmd_sweep(*args, out, err);
+  if (args->command == "sweep")
+    return with_obs(*args, err, [&] { return cmd_sweep(*args, out, err); });
   if (args->command == "inject") return cmd_inject(*args, out, err);
   if (args->command == "validate") return cmd_validate(*args, out, err);
-  if (args->command == "stability") return cmd_stability(*args, out, err);
+  if (args->command == "stability")
+    return with_obs(*args, err,
+                    [&] { return cmd_stability(*args, out, err); });
   if (args->command == "cache") return cmd_cache(*args, out, err);
   err << "unknown command: " << args->command << " (try `nidt help`)\n";
   return 2;

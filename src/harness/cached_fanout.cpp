@@ -3,7 +3,23 @@
 #include <map>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace nidkit::harness {
+
+namespace {
+
+/// Folds every entry's deterministic metric delta into the global registry,
+/// in canonical job order and on the calling thread — the same discipline
+/// RelationSet merges follow, so the aggregate is bit-identical for any
+/// --jobs value and any cache temperature.
+void merge_metrics(const std::vector<cache::Entry>& results) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::instance();
+  for (const auto& entry : results) reg.merge_scenario(entry.metrics);
+}
+
+}  // namespace
 
 cache::ScenarioSummary summarize(const ScenarioResult& run) {
   cache::ScenarioSummary s;
@@ -31,6 +47,7 @@ std::vector<cache::Entry> run_cached(
     auto results = executor.run_indexed(
         jobs.size(), labels, [&](std::size_t i) { return compute(jobs[i]); });
     if (exec) exec->accumulate(executor.report());
+    merge_metrics(results);
     return results;
   }
 
@@ -53,6 +70,7 @@ std::vector<cache::Entry> run_cached(
       ++dedup;
       continue;
     }
+    obs::Span lookup("cache-lookup", jobs[i].label);
     if (auto entry = store->get(keys[i])) {
       results[i] = std::move(*entry);
       resolved[i] = true;
@@ -71,7 +89,10 @@ std::vector<cache::Entry> run_cached(
       [&](std::size_t k) { return compute(jobs[to_run[k]]); });
   for (std::size_t k = 0; k < to_run.size(); ++k) {
     const std::size_t i = to_run[k];
-    store->put(keys[i], computed[k]);
+    {
+      obs::Span span("cache-store", jobs[i].label);
+      store->put(keys[i], computed[k]);
+    }
     results[i] = std::move(computed[k]);
     resolved[i] = true;
   }
@@ -84,12 +105,14 @@ std::vector<cache::Entry> run_cached(
 
   if (exec) {
     ExecReport delta = executor.report();
+    delta.cache_enabled = true;
     delta.cache_hits = hits;
     delta.cache_misses = to_run.size();
     delta.cache_dedup = dedup;
     delta.cache_stores = to_run.size();
     exec->accumulate(delta);
   }
+  merge_metrics(results);
   return results;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "harness/cached_fanout.hpp"
+#include "obs/obs.hpp"
 
 namespace nidkit::harness {
 
@@ -41,11 +42,18 @@ std::vector<mining::RelationSet> mine_jobs(const std::vector<CachedJob>& jobs,
       jobs, config.jobs, store, cache::PayloadKind::kMinedRelations,
       scheme.name,
       [&](const CachedJob& job) {
-        const ScenarioResult run = run_scenario(job.scenario);
+        obs::Span scenario_span("scenario", job.label);
         cache::Entry entry;
         entry.kind = cache::PayloadKind::kMinedRelations;
-        entry.summary = summarize(run);
-        entry.relations = miner.mine(run.log, scheme);
+        {
+          obs::Span span("simulate", job.label);
+          const ScenarioResult run = run_scenario(job.scenario);
+          entry.summary = summarize(run);
+          entry.metrics = run.metrics;
+          span.finish();
+          obs::Span mine_span("mine", job.label);
+          entry.relations = miner.mine(run.log, scheme);
+        }
         return entry;
       },
       exec);
@@ -86,6 +94,7 @@ std::vector<CachedJob> scenario_jobs(const ExperimentConfig& config,
 }
 
 mining::RelationSet merge_in_order(std::vector<mining::RelationSet> sets) {
+  obs::Span span("merge", "");
   mining::RelationSet out;
   for (const auto& set : sets) out.merge(set);
   return out;
@@ -112,6 +121,7 @@ AuditResult audit_impls(const std::vector<Profile>& profiles,
 
   const std::size_t per_impl = config.topologies.size() * config.seeds.size();
   for (std::size_t p = 0; p < profiles.size(); ++p) {
+    obs::Span span("merge", profiles[p].name);
     mining::RelationSet merged;
     for (std::size_t i = 0; i < per_impl; ++i)
       merged.merge(sets[p * per_impl + i]);
@@ -229,15 +239,21 @@ std::vector<SweepPoint> tdelay_sweep(const ospf::BehaviorProfile& profile,
       jobs, base.jobs, store ? &*store : nullptr,
       cache::PayloadKind::kSweepStats, scheme.name,
       [&](const CachedJob& job) {
+        obs::Span scenario_span("scenario", job.label);
         const mining::CausalMiner miner(job.miner);
+        obs::Span sim_span("simulate", job.label);
         const ScenarioResult run = run_scenario(job.scenario);
+        sim_span.finish();
+        obs::Span mine_span("mine", job.label);
         const auto pairs = miner.mine_pairs(run.log);
         const auto acc = mining::score_pairs(run.log, pairs);
         const auto set = miner.classify(run.log, pairs, scheme);
         const auto cells = mining::score_cells(run.log, set, scheme);
+        mine_span.finish();
         cache::Entry entry;
         entry.kind = cache::PayloadKind::kSweepStats;
         entry.summary = summarize(run);
+        entry.metrics = run.metrics;
         entry.sweep.mined_pairs = acc.mined;
         entry.sweep.truth_pairs = acc.truth;
         entry.sweep.correct_pairs = acc.correct;

@@ -12,6 +12,7 @@ void ExecReport::accumulate(const ExecReport& other) {
   max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
   tasks_run += other.tasks_run;
   wall_ms += other.wall_ms;
+  cache_enabled = cache_enabled || other.cache_enabled;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_dedup += other.cache_dedup;
@@ -24,10 +25,15 @@ void ExecReport::accumulate(const ExecReport& other) {
 std::string ExecReport::to_json() const {
   std::ostringstream os;
   os << "{\"jobs\":" << jobs << ",\"max_queue_depth\":" << max_queue_depth
-     << ",\"tasks_run\":" << tasks_run << ",\"wall_ms\":" << wall_ms
-     << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":"
-     << cache_misses << ",\"in_flight_dedup\":" << cache_dedup
-     << ",\"stores\":" << cache_stores << "},\"scenarios\":[";
+     << ",\"tasks_run\":" << tasks_run << ",\"wall_ms\":" << wall_ms;
+  if (cache_enabled) {
+    os << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":"
+       << cache_misses << ",\"in_flight_dedup\":" << cache_dedup
+       << ",\"stores\":" << cache_stores << "}";
+  }
+  if (obs::enabled())
+    os << ",\"metrics\":" << obs::Registry::instance().headline_json();
+  os << ",\"scenarios\":[";
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     if (i) os << ",";
     os << "{\"index\":" << tasks[i].index << ",\"label\":\""

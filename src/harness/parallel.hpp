@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nidkit::harness {
@@ -45,7 +46,10 @@ struct ExecReport {
   double wall_ms = 0.0;              ///< wall time of the fan-out(s)
   std::vector<TaskTiming> tasks;     ///< canonical index order
 
-  // Result-cache telemetry (all zero when no --cache-dir is configured).
+  // Result-cache telemetry. cache_enabled flips when a fan-out actually
+  // ran against a store; without it the counters are meaningless zeros and
+  // to_json omits the cache object entirely.
+  bool cache_enabled = false;
   std::uint64_t cache_hits = 0;    ///< scenarios served from the cache
   std::uint64_t cache_misses = 0;  ///< scenarios simulated (and stored)
   /// Scenarios whose key duplicated an earlier scenario of the same
@@ -60,6 +64,8 @@ struct ExecReport {
   /// {"jobs":N,"max_queue_depth":...,"tasks_run":...,"wall_ms":...,
   ///  "cache":{"hits":...,"misses":...,"in_flight_dedup":...,"stores":...},
   ///  "scenarios":[{"index":i,"label":"...","wall_ms":...},...]}
+  /// The cache object appears only when cache_enabled; a "metrics"
+  /// headline object is appended when the obs registry is live.
   std::string to_json() const;
 };
 
@@ -112,8 +118,18 @@ class ParallelExecutor {
       ThreadPool pool(jobs_);
       std::vector<std::future<R>> futures;
       futures.reserve(count);
-      for (std::size_t i = 0; i < count; ++i)
-        futures.push_back(pool.submit([&timed, i] { return timed(i); }));
+      for (std::size_t i = 0; i < count; ++i) {
+        // Enqueue timestamp → queue-wait span, recorded on the worker the
+        // moment it picks the task up. Wall-clock only; never deterministic.
+        const std::int64_t enqueued_us = obs::enabled() ? obs::now_us() : -1;
+        futures.push_back(pool.submit([&timed, &timings, i, enqueued_us] {
+          if (enqueued_us >= 0 && obs::enabled()) {
+            obs::Registry::instance().record_span(
+                "queue-wait", timings[i].label, enqueued_us, obs::now_us());
+          }
+          return timed(i);
+        }));
+      }
       // Collect in canonical index order; completion order is irrelevant.
       for (auto& f : futures) results.push_back(f.get());
       const auto counters = pool.counters();

@@ -13,6 +13,7 @@
 
 #include "bgp/bgp_router.hpp"
 #include "netsim/chaos.hpp"
+#include "obs/obs.hpp"
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
 #include "ospf/router.hpp"
@@ -93,6 +94,11 @@ struct ScenarioResult {
   ospf::Router::Stats ospf_totals;
   rip::RipRouter::Stats rip_totals;
   bgp::BgpRouter::Stats bgp_totals;
+  /// Deterministic per-scenario metric deltas (simulated-time domain).
+  /// Always collected — it is cheap, end-of-run bookkeeping — so cached
+  /// results can replay their metrics on a warm run. Merged into the
+  /// global obs::Registry in canonical job order by the fan-out layer.
+  obs::ScenarioMetrics metrics;
 };
 
 /// Runs one scenario to completion. Deterministic in (scenario, seed).

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "harness/cached_fanout.hpp"
+#include "obs/obs.hpp"
 
 namespace nidkit::harness {
 
@@ -39,11 +40,18 @@ std::vector<mining::RelationSet> mine_per_seed(
       jobs, config.jobs, store ? &*store : nullptr,
       cache::PayloadKind::kMinedRelations, scheme.name,
       [&](const CachedJob& job) {
-        const ScenarioResult run = run_scenario(job.scenario);
+        obs::Span scenario_span("scenario", job.label);
         cache::Entry entry;
         entry.kind = cache::PayloadKind::kMinedRelations;
-        entry.summary = summarize(run);
-        entry.relations = miner.mine(run.log, scheme);
+        {
+          obs::Span span("simulate", job.label);
+          const ScenarioResult run = run_scenario(job.scenario);
+          entry.summary = summarize(run);
+          entry.metrics = run.metrics;
+          span.finish();
+          obs::Span mine_span("mine", job.label);
+          entry.relations = miner.mine(run.log, scheme);
+        }
         return entry;
       },
       exec);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace nidkit::netsim {
 
 namespace {
@@ -107,6 +109,7 @@ void Network::send(NodeId node, IfaceIndex iface, Frame frame) {
 
   if (seg.fault.down) {
     ++frames_dropped_;
+    obs::count(obs::Hot::kFramesDropped);
     return;
   }
 
@@ -128,6 +131,7 @@ void Network::send(NodeId node, IfaceIndex iface, Frame frame) {
 
     if (seg.fault.loss > 0 && seg.rng.chance(seg.fault.loss)) {
       ++frames_dropped_;
+      obs::count(obs::Hot::kFramesDropped);
       continue;
     }
     // deliver copies the frame into its in-flight closure, but a Frame
@@ -135,6 +139,7 @@ void Network::send(NodeId node, IfaceIndex iface, Frame frame) {
     // every fan-out (and duplicate) delivery of this transmission.
     deliver(seg_id, att, frame, serialize);
     if (seg.fault.duplicate > 0 && seg.rng.chance(seg.fault.duplicate)) {
+      ++frames_duplicated_;
       deliver(seg_id, att, frame, serialize);
     }
   }
@@ -146,8 +151,10 @@ void Network::deliver(SegmentId segment, Attachment& to, const Frame& frame,
   SimDuration delay = seg.fault.delay + extra;
   if (seg.fault.jitter.count() > 0)
     delay += seg.rng.jitter(SimDuration{0}, seg.fault.jitter);
-  if (seg.fault.reorder > 0 && seg.rng.chance(seg.fault.reorder))
+  if (seg.fault.reorder > 0 && seg.rng.chance(seg.fault.reorder)) {
     delay += seg.fault.reorder_extra;
+    ++frames_reorder_delayed_;
+  }
 
   SimTime arrival = sim_.now() + delay;
   if (seg.fault.fifo) {
@@ -162,6 +169,7 @@ void Network::deliver(SegmentId segment, Attachment& to, const Frame& frame,
   sim_.schedule_at(arrival, [this, segment, dst_node, dst_iface,
                              f = frame]() {
     ++frames_delivered_;
+    obs::count(obs::Hot::kFramesDelivered);
     if (tap_) {
       tap_(TapEvent{sim_.now(), dst_node, dst_iface, segment,
                     Direction::kRecv, &f});

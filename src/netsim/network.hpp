@@ -150,6 +150,12 @@ class Network {
   /// Frames dropped by loss or down segments since construction.
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t frames_delivered() const { return frames_delivered_; }
+  /// Extra deliveries injected by the duplication fault model.
+  std::uint64_t frames_duplicated() const { return frames_duplicated_; }
+  /// Deliveries that drew the reorder penalty (chaos-delayed frames).
+  std::uint64_t frames_reorder_delayed() const {
+    return frames_reorder_delayed_;
+  }
 
  private:
   struct NodeState {
@@ -180,6 +186,8 @@ class Network {
   std::uint64_t next_frame_id_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
+  std::uint64_t frames_reorder_delayed_ = 0;
 };
 
 }  // namespace nidkit::netsim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace nidkit::netsim {
 
 std::uint32_t Simulator::acquire_slot() {
@@ -32,6 +34,7 @@ TimerHandle Simulator::schedule_at(SimTime when, Action action) {
   const std::uint32_t generation = slots_[slot].generation;
   heap_.push_back(Event{when, next_seq_++, slot, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  obs::count(obs::Hot::kTimersScheduled);
   return TimerHandle{this, slot, generation};
 }
 
@@ -49,6 +52,7 @@ bool Simulator::step() {
     if (cancelled) continue;
     now_ = ev.when;
     ++executed_;
+    obs::count(obs::Hot::kEventsExecuted);
     ev.action();
     return true;
   }

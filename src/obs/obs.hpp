@@ -1,0 +1,245 @@
+// Deterministic metrics + span-profiling subsystem (nidkit::obs).
+//
+// Two time domains, kept strictly apart:
+//
+//  * simulated time — counters and fixed-bucket histograms derived from
+//    the deterministic event loop (hellos sent, neighbor-FSM transitions,
+//    LSA floods/retransmissions, frames delivered/dropped/delayed by
+//    chaos...). Every scenario run produces a canonical ScenarioMetrics
+//    delta; the harness merges deltas into the global registry in
+//    canonical scenario-index order — exactly like RelationSet::merge —
+//    so a snapshot's "sim" section is bit-identical across --jobs 1/4/8
+//    and cache warm/cold (cached entries carry their scenario's delta and
+//    replay it on a hit instead of re-simulating).
+//
+//  * wall clock — phase spans (simulate / mine / merge / cache-lookup /
+//    cache-store / queue-wait) recorded per worker thread and exported as
+//    Chrome trace-event JSON (loads in ui.perfetto.dev, one lane per
+//    worker), plus live process counters bumped on the event hot path.
+//    Everything wall-clock lives in the snapshot's "wall" section, which
+//    determinism comparisons strip.
+//
+// Cost model: every recording operation is behind enabled() — one relaxed
+// atomic bool load. Disabled (the default), the event hot path pays a
+// single predictable branch: no stores, no locks, no allocation (gated by
+// bench_simcore). Enabled, hot counters land in per-thread slots (relaxed
+// atomics, never shared between threads), and spans — a handful per
+// scenario, never per event — take a mutex off the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nidkit::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Global observability switch. Off by default; the CLI flips it on for
+/// --metrics-out / --trace-out runs.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Hot-path process counters (wall domain: they reflect what *this
+/// process* executed, so a warm cache legitimately shows fewer events
+/// than a cold one). Bumped from the simulator/network inner loops, so
+/// the disabled cost must stay at one branch.
+enum class Hot : std::size_t {
+  kEventsExecuted = 0,  ///< simulator events run (all scenarios, live)
+  kTimersScheduled,     ///< events pushed into simulator heaps
+  kFramesDelivered,     ///< network deliveries executed
+  kFramesDropped,       ///< frames dropped by loss or down segments
+};
+inline constexpr std::size_t kHotCount = 4;
+
+namespace detail {
+void count_slow(Hot which, std::uint64_t n);
+}  // namespace detail
+
+/// Adds `n` to a hot counter. Disabled: one relaxed load + branch.
+/// Enabled: a relaxed add on this thread's private slot.
+inline void count(Hot which, std::uint64_t n = 1) {
+  if (!enabled()) return;
+  detail::count_slow(which, n);
+}
+
+/// Microseconds since the process's observability epoch (first use).
+/// Monotonic; shared by every span so trace lanes line up.
+std::int64_t now_us();
+
+/// Canonical per-scenario simulated-time metric delta: (name, value)
+/// pairs kept sorted by name with no duplicates. Deterministic in the
+/// scenario — the same scenario always produces the same delta — so it is
+/// cached alongside mined relations and replayed on cache hits.
+class ScenarioMetrics {
+ public:
+  /// Inserts or overwrites `name`. Keeps entries sorted.
+  void set(std::string_view name, std::uint64_t value);
+
+  /// Value of `name`, or 0 when absent.
+  std::uint64_t get(std::string_view name) const;
+
+  const std::vector<std::pair<std::string, std::uint64_t>>& entries() const {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+
+  friend bool operator==(const ScenarioMetrics&,
+                         const ScenarioMetrics&) = default;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+/// One completed phase span, as exported to the trace file.
+struct SpanEvent {
+  std::string name;    ///< phase: simulate, mine, merge, cache-lookup...
+  std::string label;   ///< e.g. "frr/mesh-5/s2"
+  std::uint32_t tid = 0;  ///< dense per-thread lane id
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+/// Read-only view of a fixed-bucket histogram. `bounds[i]` is bucket i's
+/// inclusive upper bound; `counts` has one extra overflow bucket.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+/// The process-wide registry of counters, histograms and spans.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Drops all recorded data (counters, histograms, spans) and rebases
+  /// per-thread hot slots. The enabled flag is left untouched.
+  void reset();
+
+  // ---- simulated-time domain (deterministic) ----
+
+  /// Folds one scenario's delta into the sim-domain counters and
+  /// histograms. MUST be called in canonical scenario-index order from a
+  /// single thread — the harness's merge loop — never from workers.
+  void merge_scenario(const ScenarioMetrics& delta);
+
+  /// Current value of a sim-domain counter (0 when never merged).
+  std::uint64_t sim_counter(std::string_view name) const;
+
+  // ---- wall-clock domain ----
+
+  /// Adds `value` to a wall-domain histogram (created on first use with
+  /// fixed decade buckets).
+  void observe_wall(std::string_view histogram, std::uint64_t value);
+
+  /// Records a completed span [start_us, end_us) on the calling thread's
+  /// lane and feeds the matching "wall.<name>_us" histogram.
+  void record_span(std::string_view name, std::string label,
+                   std::int64_t start_us, std::int64_t end_us);
+
+  std::vector<SpanEvent> spans() const;
+  std::size_t span_count() const;
+  std::uint64_t hot_counter(Hot which) const;
+
+  // ---- snapshots ----
+
+  /// The full metrics snapshot. Line-structured JSON: the "sim" object is
+  /// emitted on exactly one line so determinism checks can strip the
+  /// wall-clock section with a line-oriented tool (grep '"sim":').
+  std::string metrics_json() const;
+
+  /// Just the deterministic section — the line `"sim":{...}`.
+  std::string sim_json() const;
+
+  /// Headline numbers folded into --stats output.
+  /// {"sim_events":...,"sim_frames_delivered":...,
+  ///  "fsm_transitions":...,"spans":...}
+  std::string headline_json() const;
+
+  /// Chrome trace-event JSON (Perfetto-loadable): one "X" event per span,
+  /// one lane per recording thread, with thread_name metadata.
+  void write_trace_json(std::ostream& os) const;
+
+  // ---- hot-counter plumbing (used by the per-thread blocks) ----
+  struct HotBlock {
+    std::array<std::atomic<std::uint64_t>, kHotCount> slots{};
+  };
+  void attach_hot_block(HotBlock* block);
+  void detach_hot_block(HotBlock* block);
+
+ private:
+  Registry();
+
+  struct Histogram {
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    void observe(std::uint64_t value);
+  };
+
+  Histogram& sim_histogram(std::string_view name);
+  Histogram& wall_histogram(std::string_view name);
+  void append_section(std::string& out, const char* domain,
+                      bool wall_clock) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> sim_counters_;
+  std::map<std::string, Histogram, std::less<>> sim_histograms_;
+  std::map<std::string, Histogram, std::less<>> wall_histograms_;
+  std::vector<SpanEvent> spans_;
+  std::vector<HotBlock*> hot_blocks_;
+  std::array<std::uint64_t, kHotCount> hot_retired_{};
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+/// RAII phase span. Construction snapshots the clock when the registry is
+/// enabled; destruction records the span. Cheap no-op when disabled.
+class Span {
+ public:
+  explicit Span(const char* name, std::string label = {}) {
+    if (!enabled()) return;
+    active_ = true;
+    name_ = name;
+    label_ = std::move(label);
+    start_us_ = now_us();
+  }
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early (idempotent).
+  void finish() {
+    if (!active_) return;
+    active_ = false;
+    Registry::instance().record_span(name_, std::move(label_), start_us_,
+                                     now_us());
+  }
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  std::string label_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace nidkit::obs

@@ -97,7 +97,7 @@ void Router::handle_dbd(OspfInterface& oi, Neighbor& n, const DbdBody& dbd) {
         n.we_are_master = false;
         n.dd_sequence = dbd.dd_sequence;
         n.db_summary = lsdb_.summarize(now());
-        n.state = NeighborState::kExchange;
+        set_neighbor_state(n, NeighborState::kExchange);
         n.dbd_rxmt_timer.cancel();
         n.last_rx_dbd_valid = true;
         n.last_rx_dbd_flags = dbd.flags;
@@ -110,7 +110,7 @@ void Router::handle_dbd(OspfInterface& oi, Neighbor& n, const DbdBody& dbd) {
         // We are master and the slave has echoed our sequence number.
         n.we_are_master = true;
         n.db_summary = lsdb_.summarize(now());
-        n.state = NeighborState::kExchange;
+        set_neighbor_state(n, NeighborState::kExchange);
         n.last_rx_dbd_valid = true;
         n.last_rx_dbd_flags = dbd.flags;
         n.last_rx_dbd_seq = dbd.dd_sequence;
@@ -196,7 +196,7 @@ void Router::exchange_done(OspfInterface& oi, Neighbor& n) {
   if (n.ls_requests.empty() && n.outstanding_requests.empty()) {
     neighbor_full(oi, n);
   } else {
-    n.state = NeighborState::kLoading;
+    set_neighbor_state(n, NeighborState::kLoading);
     send_ls_requests(oi, n);
   }
 }
@@ -268,7 +268,7 @@ void Router::seq_number_mismatch(OspfInterface& oi, Neighbor& n) {
   n.exchange_more_to_send = false;
   n.lsr_rxmt_timer.cancel();
   n.lsu_rxmt_timer.cancel();
-  n.state = NeighborState::kExStart;
+  set_neighbor_state(n, NeighborState::kExStart);
   n.we_are_master = true;
   n.dd_sequence = ++dd_seq_counter_;
   send_dbd(oi, n, /*retransmit=*/false);
@@ -284,7 +284,7 @@ void Router::loading_check(OspfInterface& oi, Neighbor& n) {
 }
 
 void Router::neighbor_full(OspfInterface& oi, Neighbor& n) {
-  n.state = NeighborState::kFull;
+  set_neighbor_state(n, NeighborState::kFull);
   n.lsr_rxmt_timer.cancel();
   NIDKIT_LOG(kInfo, now(), "ospf",
              config_.router_id.to_string() << " adjacency with "

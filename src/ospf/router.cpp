@@ -294,7 +294,8 @@ void Router::handle_hello(OspfInterface& oi, const OspfPacket& pkt,
   n.inactivity_timer = net_.sim().schedule(
       config_.dead_interval,
       [this, &oi, nbr_id] { neighbor_inactivity(oi, nbr_id); });
-  if (n.state < NeighborState::kInit) n.state = NeighborState::kInit;
+  if (n.state < NeighborState::kInit)
+    set_neighbor_state(n, NeighborState::kInit);
 
   if (is_new && config_.profile.immediate_hello_on_discovery) {
     // Discretionary: answer a newly discovered neighbor right away so it
@@ -309,7 +310,7 @@ void Router::handle_hello(OspfInterface& oi, const OspfPacket& pkt,
   bool state_changed_two_way = false;
   if (sees_us) {
     if (n.state == NeighborState::kInit) {
-      n.state = NeighborState::kTwoWay;
+      set_neighbor_state(n, NeighborState::kTwoWay);
       state_changed_two_way = true;
       if (config_.profile.immediate_hello_on_two_way)
         send_hello(oi, current_cause_);
@@ -319,7 +320,7 @@ void Router::handle_hello(OspfInterface& oi, const OspfPacket& pkt,
     // 1-WayReceived: the neighbor no longer lists us.
     if (n.state >= NeighborState::kTwoWay) {
       destroy_neighbor(oi, n);
-      n.state = NeighborState::kInit;
+      set_neighbor_state(n, NeighborState::kInit);
     }
   }
 
@@ -372,7 +373,7 @@ void Router::destroy_neighbor(OspfInterface& oi, Neighbor& n) {
   // Demote BEFORE re-originating: the flooding below must not put the
   // dying adjacency back on a retransmission list (its timer closure would
   // dangle once the caller erases the neighbor).
-  n.state = NeighborState::kDown;
+  set_neighbor_state(n, NeighborState::kDown);
   if (was_full) {
     originate_router_lsa();
     if (oi.is_lan && oi.state == InterfaceState::kDr)
@@ -388,9 +389,15 @@ bool Router::should_be_adjacent(const OspfInterface& oi,
   return n.address == oi.dr || n.address == oi.bdr;
 }
 
+void Router::set_neighbor_state(Neighbor& n, NeighborState to) {
+  if (n.state == to) return;
+  n.state = to;
+  ++stats_.fsm_transitions;
+}
+
 void Router::start_adjacency(OspfInterface& oi, Neighbor& n) {
   if (n.state != NeighborState::kTwoWay) return;
-  n.state = NeighborState::kExStart;
+  set_neighbor_state(n, NeighborState::kExStart);
   n.we_are_master = true;  // provisional; negotiation settles it
   n.dd_sequence = ++dd_seq_counter_;
   send_dbd(oi, n, /*retransmit=*/false);
@@ -405,7 +412,7 @@ void Router::check_adjacencies(OspfInterface& oi) {
     } else if (n.state > NeighborState::kTwoWay &&
                !should_be_adjacent(oi, n)) {
       destroy_neighbor(oi, n);
-      n.state = NeighborState::kTwoWay;
+      set_neighbor_state(n, NeighborState::kTwoWay);
     }
   }
 }

@@ -196,6 +196,8 @@ class Router {
     std::uint64_t stale_received = 0;
     std::uint64_t decode_failures = 0;
     std::uint64_t auth_failures = 0;
+    /// Neighbor FSM state changes (any `state` reassignment to a new value).
+    std::uint64_t fsm_transitions = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -215,6 +217,8 @@ class Router {
   bool should_be_adjacent(const OspfInterface& oi, const Neighbor& n) const;
   void start_adjacency(OspfInterface& oi, Neighbor& n);
   void destroy_neighbor(OspfInterface& oi, Neighbor& n);
+  /// All neighbor FSM transitions funnel through here so stats count them.
+  void set_neighbor_state(Neighbor& n, NeighborState to);
   void send_packet(OspfInterface& oi, PacketBody body, Ipv4Addr dst,
                    std::uint64_t cause);
 

@@ -44,6 +44,8 @@ class StoreTest : public ::testing::Test {
     entry.summary.convergence_time_us = 42'000'000;
     entry.summary.frames_delivered = 123;
     entry.relations.add(kSR, {"LSU", "LSAck"}, SimTime{1s}, 5, 6);
+    entry.metrics.set("sim.events_executed", 321);
+    entry.metrics.set("ospf.tx_hello", 12);
     return entry;
   }
 
@@ -76,6 +78,9 @@ TEST_F(StoreTest, PersistsAcrossStoreInstances) {
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(fresh.counters().disk_hits, 1u);
   EXPECT_EQ(back->summary, sample_entry().summary);
+  // The scenario's obs delta rides along so cache hits can replay it.
+  EXPECT_EQ(back->metrics, sample_entry().metrics);
+  EXPECT_EQ(back->metrics.get("sim.events_executed"), 321u);
   const auto* stats = back->relations.find(kSR, {"LSU", "LSAck"});
   ASSERT_NE(stats, nullptr);
   EXPECT_EQ(stats->first_seen, SimTime{1s});

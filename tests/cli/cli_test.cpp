@@ -221,6 +221,78 @@ TEST(Cli, WarmAuditIsByteIdenticalAndMaintainable) {
   EXPECT_NE(empty.out.find("0 entries"), std::string::npos);
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return buf.str();
+}
+
+TEST(Cli, StatsOutMetricsOutAndTraceOutWriteFiles) {
+  const std::string stats = "cli_stats_out.tmp";
+  const std::string metrics = "cli_metrics_out.tmp";
+  const std::string trace = "cli_trace_out.tmp";
+  const auto r = run({"audit", "--impls", "frr,bird", "--topos", "linear-2",
+                      "--seeds", "1", "--duration-s", "90", "--stats-out",
+                      stats, "--metrics-out", metrics, "--trace-out", trace});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  const auto stats_json = slurp(stats);
+  EXPECT_NE(stats_json.find("\"tasks_run\":"), std::string::npos);
+  // The obs session was live for this run, so the executor telemetry
+  // carries the headline metrics object too.
+  EXPECT_NE(stats_json.find("\"metrics\":{\"sim_events\":"),
+            std::string::npos);
+  // No cache configured: the stats JSON must not claim one.
+  EXPECT_EQ(stats_json.find("\"cache\""), std::string::npos);
+
+  const auto metrics_json = slurp(metrics);
+  EXPECT_EQ(metrics_json.rfind("{\n\"version\":1,\n", 0), 0u);
+  EXPECT_NE(metrics_json.find("\"sim\":{"), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"ospf.fsm_transitions\":"),
+            std::string::npos);
+  EXPECT_NE(metrics_json.find("\"wall\":{"), std::string::npos);
+
+  const auto trace_json = slurp(trace);
+  EXPECT_NE(trace_json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"name\":\"scenario\""), std::string::npos);
+
+  std::remove(stats.c_str());
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, StatsFlagStillWritesItsOwnFile) {
+  const std::string stats = "cli_stats_flag.tmp";
+  const auto r = run({"sweep", "--impl", "frr", "--max-ms", "0",
+                      "--step-ms", "150", "--stats", stats});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(slurp(stats).find("\"tasks_run\":"), std::string::npos);
+  std::remove(stats.c_str());
+}
+
+TEST(Cli, CacheLsJsonListsEntries) {
+  const std::string dir = "cli_cache_json_test.tmp";
+  run({"cache", "clear", "--cache-dir", dir});
+  const auto audit = run({"audit", "--impls", "frr,bird", "--topos",
+                          "linear-2", "--seeds", "1", "--duration-s", "90",
+                          "--cache-dir", dir});
+  EXPECT_EQ(audit.code, 0) << audit.err;
+
+  const auto ls = run({"cache", "ls", "--json", "--cache-dir", dir});
+  EXPECT_EQ(ls.code, 0) << ls.err;
+  EXPECT_EQ(ls.out.rfind("[{", 0), 0u);
+  EXPECT_NE(ls.out.find("\"key\":\""), std::string::npos);
+  EXPECT_NE(ls.out.find("\"kind\":\"mined\""), std::string::npos);
+  EXPECT_NE(ls.out.find("\"bytes\":"), std::string::npos);
+  EXPECT_NE(ls.out.find("\"valid\":true"), std::string::npos);
+
+  run({"cache", "clear", "--cache-dir", dir});
+  const auto empty = run({"cache", "ls", "--json", "--cache-dir", dir});
+  EXPECT_EQ(empty.out, "[]\n");
+}
+
 TEST(Cli, NoCacheOverridesCacheDir) {
   const std::string dir = "cli_nocache_test.tmp";
   run({"cache", "clear", "--cache-dir", dir});

@@ -134,6 +134,21 @@ TEST_F(CacheIntegrationTest, SweepWarmRunMatchesColdExactly) {
   }
 }
 
+TEST_F(CacheIntegrationTest, ReportJsonCarriesCacheObjectOnlyWhenCached) {
+  const auto profiles = {ospf::frr_profile(), ospf::bird_profile()};
+  const auto cached =
+      audit_ospf(profiles, config(2, true), mining::ospf_type_scheme());
+  EXPECT_TRUE(cached.exec.cache_enabled);
+  const auto cached_json = cached.exec.to_json();
+  EXPECT_NE(cached_json.find("\"cache\":{"), std::string::npos);
+  EXPECT_NE(cached_json.find("\"misses\":8"), std::string::npos);
+
+  const auto plain =
+      audit_ospf(profiles, config(2, false), mining::ospf_type_scheme());
+  EXPECT_FALSE(plain.exec.cache_enabled);
+  EXPECT_EQ(plain.exec.to_json().find("\"cache\""), std::string::npos);
+}
+
 TEST_F(CacheIntegrationTest, StabilityReusesAuditEntries) {
   // Stability over the same (profile, config, scheme) keys as a prior
   // audit replays the audit's cached scenarios instead of re-simulating.

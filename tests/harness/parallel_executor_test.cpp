@@ -151,6 +151,10 @@ TEST(ParallelExecutor, ExecReportListsEveryScenarioCanonically) {
   const auto json = audit.exec.to_json();
   EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
   EXPECT_NE(json.find(audit.exec.tasks.front().label), std::string::npos);
+  // No cache was configured, so the report must not claim one: the
+  // "cache" object only appears on cache-enabled runs.
+  EXPECT_FALSE(audit.exec.cache_enabled);
+  EXPECT_EQ(json.find("\"cache\""), std::string::npos);
 }
 
 TEST(ParallelExecutor, RunIndexedReturnsCanonicalOrder) {

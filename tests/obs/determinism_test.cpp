@@ -1,0 +1,128 @@
+// The deterministic half of the obs contract: the registry's "sim"
+// section is bit-identical across worker counts and cache temperature.
+// Worker threads never touch sim counters — every scenario's delta is
+// merged in canonical index order on one thread, and cached entries
+// replay their stored delta instead of re-simulating.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "obs/obs.hpp"
+
+namespace nidkit::harness {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("nidkit_obs_det_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name())))
+               .string();
+    fs::remove_all(dir_);
+    obs::Registry::instance().reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+    fs::remove_all(dir_);
+  }
+
+  ExperimentConfig config(std::size_t jobs, bool cached) const {
+    ExperimentConfig c;
+    c.topologies = {topo::Spec{topo::Kind::kLinear, 2},
+                    topo::Spec{topo::Kind::kMesh, 3}};
+    c.seeds = {1, 2};
+    c.duration = 90s;
+    c.jobs = jobs;
+    if (cached) c.cache_dir = dir_;
+    return c;
+  }
+
+  /// Runs a two-implementation audit from a clean registry and returns
+  /// the deterministic snapshot line it produced.
+  std::string audit_sim_json(std::size_t jobs, bool cached,
+                             ExecReport* exec = nullptr) {
+    obs::Registry::instance().reset();
+    const auto audit =
+        audit_ospf({ospf::frr_profile(), ospf::bird_profile()},
+                   config(jobs, cached), mining::ospf_type_scheme());
+    if (exec) *exec = audit.exec;
+    return obs::Registry::instance().sim_json();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ObsDeterminismTest, SimSectionIdenticalAcrossWorkerCounts) {
+  const auto one = audit_sim_json(1, /*cached=*/false);
+  // The run actually recorded something — a vacuous comparison of two
+  // empty sections would pass without testing anything.
+  EXPECT_NE(one.find("\"sim.events_executed\":"), std::string::npos);
+  EXPECT_NE(one.find("\"ospf.fsm_transitions\":"), std::string::npos);
+  EXPECT_EQ(one, audit_sim_json(4, /*cached=*/false));
+  EXPECT_EQ(one, audit_sim_json(8, /*cached=*/false));
+}
+
+TEST_F(ObsDeterminismTest, WarmCacheReplaysIdenticalSimSection) {
+  ExecReport cold_exec, warm_exec;
+  const auto cold = audit_sim_json(2, /*cached=*/true, &cold_exec);
+  EXPECT_EQ(cold_exec.cache_misses, 8u);  // 2 impls x 2 topos x 2 seeds
+
+  const auto warm = audit_sim_json(2, /*cached=*/true, &warm_exec);
+  EXPECT_EQ(warm_exec.cache_hits, 8u);
+  EXPECT_EQ(warm_exec.tasks_run, 0u);  // nothing re-simulated: pure replay
+
+  const auto uncached = audit_sim_json(1, /*cached=*/false);
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(cold, uncached);
+}
+
+TEST_F(ObsDeterminismTest, SimCountersCoverTheScenarioTaxonomy) {
+  audit_sim_json(2, /*cached=*/false);
+  const auto& reg = obs::Registry::instance();
+  // 8 scenarios merged, each contributing runs=1.
+  EXPECT_EQ(reg.sim_counter("scenario.runs"), 8u);
+  EXPECT_GT(reg.sim_counter("sim.events_executed"), 0u);
+  EXPECT_GT(reg.sim_counter("sim.frames_delivered"), 0u);
+  EXPECT_GT(reg.sim_counter("ospf.tx_hello"), 0u);
+  EXPECT_GT(reg.sim_counter("ospf.rx_hello"), 0u);
+  EXPECT_GT(reg.sim_counter("ospf.fsm_transitions"), 0u);
+  EXPECT_GT(reg.sim_counter("ospf.lsa_installs"), 0u);
+}
+
+TEST_F(ObsDeterminismTest, SweepSimSectionStableAcrossJobsAndCache) {
+  const std::vector<SimDuration> tds = {0ms, 900ms};
+  const auto run = [&](std::size_t jobs, bool cached) {
+    obs::Registry::instance().reset();
+    auto c = config(jobs, cached);
+    c.seeds = {1};
+    tdelay_sweep(ospf::frr_profile(), c, tds, mining::ospf_type_scheme());
+    return obs::Registry::instance().sim_json();
+  };
+  const auto reference = run(1, false);
+  EXPECT_NE(reference.find("\"scenario.runs\":"), std::string::npos);
+  EXPECT_EQ(reference, run(4, false));
+  EXPECT_EQ(reference, run(2, true));   // cold cache
+  EXPECT_EQ(reference, run(8, true));   // warm cache, different width
+}
+
+TEST_F(ObsDeterminismTest, DisabledRegistryStaysEmpty) {
+  obs::set_enabled(false);
+  audit_ospf({ospf::frr_profile(), ospf::bird_profile()},
+             config(4, /*cached=*/false), mining::ospf_type_scheme());
+  const auto& reg = obs::Registry::instance();
+  EXPECT_EQ(reg.sim_counter("scenario.runs"), 0u);
+  EXPECT_EQ(reg.span_count(), 0u);
+  EXPECT_EQ(reg.hot_counter(obs::Hot::kEventsExecuted), 0u);
+}
+
+}  // namespace
+}  // namespace nidkit::harness

@@ -1,0 +1,126 @@
+// Wall-clock half of the obs contract: phase spans export as Chrome
+// trace-event JSON (the schema Perfetto loads), one lane per recording
+// thread, with child phases nested inside their scenario span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "obs/obs.hpp"
+
+namespace nidkit::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::instance().reset();
+  }
+
+  static std::string trace_json() {
+    std::ostringstream os;
+    Registry::instance().write_trace_json(os);
+    return os.str();
+  }
+
+  static std::size_t occurrences(const std::string& text,
+                                 const std::string& needle) {
+    std::size_t n = 0;
+    for (auto pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+      ++n;
+    return n;
+  }
+};
+
+TEST_F(TraceExportTest, EmitsMetadataAndCompleteEvents) {
+  auto& reg = Registry::instance();
+  reg.record_span("scenario", "frr/linear-2/s1", 10, 500);
+  reg.record_span("simulate", "frr/linear-2/s1", 20, 300);
+
+  const auto json = trace_json();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  // Process + thread metadata give Perfetto its lane names.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker-0\""), std::string::npos);
+  // One complete ("X") event per span, with the schema's required fields.
+  EXPECT_EQ(occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":490"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"label\":\"frr/linear-2/s1\"}"),
+            std::string::npos);
+  // Crude structural validity: balanced braces/brackets, closed array.
+  EXPECT_EQ(occurrences(json, "{"), occurrences(json, "}"));
+  EXPECT_EQ(occurrences(json, "["), occurrences(json, "]"));
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST_F(TraceExportTest, EscapesLabelsForJson) {
+  Registry::instance().record_span("mine", "odd\"label\\with\ncontrol", 0, 1);
+  const auto json = trace_json();
+  EXPECT_NE(json.find("odd\\\"label\\\\with\\ncontrol"), std::string::npos);
+  // No raw newline may survive inside the label string.
+  EXPECT_EQ(json.find("with\ncontrol"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, EmptyRegistryStillWritesLoadableSkeleton) {
+  const auto json = trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST_F(TraceExportTest, AuditPhaseSpansNestWithinScenario) {
+  harness::ExperimentConfig c;
+  c.topologies = {topo::Spec{topo::Kind::kLinear, 2},
+                  topo::Spec{topo::Kind::kMesh, 3}};
+  c.seeds = {1};
+  c.duration = 90s;
+  c.jobs = 2;
+  harness::audit_ospf({ospf::frr_profile(), ospf::bird_profile()}, c,
+                      mining::ospf_type_scheme());
+
+  const auto spans = Registry::instance().spans();
+  std::vector<SpanEvent> scenarios, children;
+  for (const auto& s : spans) {
+    if (s.name == "scenario") scenarios.push_back(s);
+    if (s.name == "simulate" || s.name == "mine") children.push_back(s);
+  }
+  ASSERT_EQ(scenarios.size(), 4u);  // 2 impls x 2 topos x 1 seed
+  ASSERT_EQ(children.size(), 8u);   // simulate + mine per scenario
+
+  // Every child phase must sit inside a scenario span on the SAME lane —
+  // that is what makes the Perfetto view read as nested slices.
+  for (const auto& child : children) {
+    const bool contained = std::any_of(
+        scenarios.begin(), scenarios.end(), [&](const SpanEvent& outer) {
+          return outer.tid == child.tid && outer.label == child.label &&
+                 outer.ts_us <= child.ts_us &&
+                 child.ts_us + child.dur_us <= outer.ts_us + outer.dur_us;
+        });
+    EXPECT_TRUE(contained) << child.name << " " << child.label;
+  }
+
+  // The single-threaded canonical merge shows up as merge spans.
+  EXPECT_TRUE(std::any_of(spans.begin(), spans.end(), [](const SpanEvent& s) {
+    return s.name == "merge";
+  }));
+}
+
+}  // namespace
+}  // namespace nidkit::obs
