@@ -20,6 +20,27 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x4E494443;  // "NIDC"
 constexpr const char* kExtension = ".nidc";
+constexpr const char* kHitsExtension = ".hits";
+
+fs::path hits_path(const fs::path& entry) {
+  fs::path p = entry;
+  p += kHitsExtension;
+  return p;
+}
+
+/// Appends one byte to the entry's hit sidecar. O_APPEND writes of one
+/// byte never interleave, so the count (= file size) stays exact under
+/// concurrent readers; failures are swallowed like every other cache I/O.
+void record_hit_on_disk(const fs::path& entry) {
+  std::ofstream file(hits_path(entry), std::ios::binary | std::ios::app);
+  if (file) file.put('h');
+}
+
+std::uint64_t hits_of(const fs::path& entry) {
+  std::error_code ec;
+  const auto size = fs::file_size(hits_path(entry), ec);
+  return ec ? 0 : size;
+}
 
 void write_u64(ByteWriter& out, std::uint64_t v) {
   out.u32(static_cast<std::uint32_t>(v >> 32));
@@ -221,6 +242,7 @@ std::optional<Entry> Store::get(const ScenarioKey& key) {
   std::lock_guard lock(mutex_);
   if (auto it = memory_.find(key); it != memory_.end()) {
     ++counters_.memory_hits;
+    record_hit_on_disk(entry_path(key));
     return it->second;
   }
   const auto bytes = read_file(entry_path(key));
@@ -235,6 +257,7 @@ std::optional<Entry> Store::get(const ScenarioKey& key) {
     return std::nullopt;
   }
   ++counters_.disk_hits;
+  record_hit_on_disk(entry_path(key));
   memory_.emplace(key, *entry);
   return entry;
 }
@@ -287,6 +310,7 @@ std::vector<Store::FileInfo> Store::ls(const std::string& dir) {
     std::error_code ec;
     info.bytes = fs::file_size(path, ec);
     info.age_seconds = age_seconds_of(path);
+    info.hits = hits_of(path);
     const auto key = key_from_stem(path.stem().string());
     if (key) {
       info.key = *key;
@@ -324,6 +348,7 @@ std::size_t Store::prune(const std::string& dir, double max_age_days) {
     if (drop) {
       std::error_code ec;
       if (fs::remove(path, ec) && !ec) ++removed;
+      fs::remove(hits_path(path), ec);
     }
   }
   return removed;
@@ -334,6 +359,7 @@ std::size_t Store::clear(const std::string& dir) {
   for (const auto& path : entry_files(dir)) {
     std::error_code ec;
     if (fs::remove(path, ec) && !ec) ++removed;
+    fs::remove(hits_path(path), ec);
   }
   // Sweep now-empty shard directories so clear leaves a pristine tree.
   std::error_code ec;

@@ -116,6 +116,11 @@ class Store {
     bool valid = false;          ///< header decoded and key matches name
     std::uint64_t bytes = 0;
     double age_seconds = 0;      ///< since last modification
+    /// Lifetime hit count (memory + disk) across every process that used
+    /// this entry — e.g. triage probes replaying audit results. Persisted
+    /// as a 1-byte-per-hit sidecar (<entry>.hits), so concurrent appends
+    /// never corrupt a count.
+    std::uint64_t hits = 0;
   };
 
   /// Every *.nidc entry under `dir`, sorted by key hex.

@@ -10,6 +10,7 @@
 #include "harness/experiment.hpp"
 #include "harness/injection.hpp"
 #include "harness/stability.hpp"
+#include "harness/triage.hpp"
 #include "obs/obs.hpp"
 #include "trace/pcap.hpp"
 
@@ -50,7 +51,8 @@ std::optional<Args> parse_args(const std::vector<std::string>& tokens,
       return std::nullopt;
     }
     // Boolean switches: presence means "on", no value token follows.
-    if (tok == "--keep-bytes" || tok == "--no-cache" || tok == "--json") {
+    if (tok == "--keep-bytes" || tok == "--no-cache" || tok == "--json" ||
+        tok == "--from-audit") {
       args.flags[tok.substr(2)] = "1";
       i += 1;
       continue;
@@ -97,6 +99,12 @@ int usage(std::ostream& out) {
          "  inject     --target frr|bird|strict --stimulus LSU-stale|LSR|...\n"
          "  validate   --impls frr,bird [--scheme gtsn] : mine flags, then\n"
          "             confirm each by crafted-packet injection\n"
+         "  triage     --impls frr,bird [--from-audit] [--scheme gtsn]\n"
+         "             [--max-probes 200] [--max-incidents N] [--jobs N]\n"
+         "             [--report-out report.json] [--format text|json]\n"
+         "             [--churn-s 60,110|none] : audit, then delta-debug\n"
+         "             each flag to a minimal repro, confirm by injection,\n"
+         "             and rank incidents\n"
          "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3] [--jobs N]\n"
          "  cache      ls|prune|clear  --cache-dir DIR [--max-age-days 30]\n"
          "             [--json]\n"
@@ -131,10 +139,15 @@ std::optional<ospf::BehaviorProfile> ospf_profile_by_name(
 }
 
 std::optional<mining::KeyScheme> scheme_by_name(const std::string& name) {
-  if (name == "type") return mining::ospf_type_scheme();
-  if (name == "gtsn") return mining::ospf_greater_lssn_scheme();
-  if (name == "state") return mining::ospf_state_scheme();
-  if (name == "lsatype") return mining::ospf_lsa_type_scheme();
+  // Short CLI spellings and the schemes' own names are both accepted —
+  // triage's repro command lines quote the latter.
+  if (name == "type" || name == "ospf-type") return mining::ospf_type_scheme();
+  if (name == "gtsn" || name == "ospf-greater-lssn")
+    return mining::ospf_greater_lssn_scheme();
+  if (name == "state" || name == "ospf-state")
+    return mining::ospf_state_scheme();
+  if (name == "lsatype" || name == "ospf-lsa-type")
+    return mining::ospf_lsa_type_scheme();
   return std::nullopt;
 }
 
@@ -190,6 +203,23 @@ std::optional<harness::ExperimentConfig> config_from(const Args& args,
     config.tdelay = SimDuration{*ms * 1000};
   if (const auto s = args.get_int("duration-s"))
     config.duration = std::chrono::seconds(*s);
+  if (args.has("churn-s")) {
+    // The link-churn schedule, in seconds; "none" disables churn — the
+    // spelling triage's repro command lines use for an empty schedule.
+    config.churn_times.clear();
+    const std::string churn = args.get("churn-s", "");
+    if (churn != "none") {
+      for (const auto& s : split_list(churn)) {
+        try {
+          config.churn_times.push_back(
+              std::chrono::seconds(std::stoll(s)));
+        } catch (...) {
+          err << "--churn-s needs seconds (comma-separated) or none\n";
+          return std::nullopt;
+        }
+      }
+    }
+  }
   if (args.has("seeds")) {
     config.seeds.clear();
     for (const auto& s : split_list(args.get("seeds", "")))
@@ -557,6 +587,101 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_triage(const Args& args, std::ostream& out, std::ostream& err) {
+  auto config = config_from(args, err);
+  if (!config) return 2;
+
+  harness::TriageConfig tc;
+  tc.experiment = *config;
+  std::vector<ospf::BehaviorProfile> impls;
+  for (const auto& name : split_list(args.get("impls", "frr,bird"))) {
+    const auto p = ospf_profile_by_name(name);
+    if (!p) {
+      err << "unknown OSPF implementation: " << name << "\n";
+      return 2;
+    }
+    impls.push_back(*p);
+  }
+  if (impls.size() < 2) {
+    err << "triage needs at least two implementations\n";
+    return 2;
+  }
+  // gtsn is the triage default (unlike audit's "type"): its cells carry
+  // the +gtSN refinement the injection stimulus table maps directly.
+  const auto scheme = scheme_by_name(args.get("scheme", "gtsn"));
+  if (!scheme) {
+    err << "unknown scheme: " << args.get("scheme", "gtsn") << "\n";
+    return 2;
+  }
+  tc.scheme = *scheme;
+  if (args.has("max-probes")) {
+    const auto n = args.get_int("max-probes");
+    if (!n || *n < 1) {
+      err << "--max-probes needs a positive probe budget\n";
+      return 2;
+    }
+    tc.max_probes = static_cast<std::size_t>(*n);
+  }
+  if (args.has("max-incidents")) {
+    const auto n = args.get_int("max-incidents");
+    if (!n || *n < 0) {
+      err << "--max-incidents needs a non-negative count\n";
+      return 2;
+    }
+    tc.max_incidents = static_cast<std::size_t>(*n);
+  }
+  // --from-audit (the default and only source today) is accepted for
+  // forward compatibility with triaging a saved audit report.
+
+  const auto result = harness::triage_ospf(impls, tc);
+  if (!write_stats_file(args, result.exec, err)) return 2;
+  const std::string report = harness::triage_report_json(result);
+  const std::string report_out = args.get("report-out", "");
+  if (!report_out.empty()) {
+    std::ofstream file(report_out);
+    if (!file) {
+      err << "cannot open " << report_out << "\n";
+      return 2;
+    }
+    file << report;
+  }
+  if (args.get("format", "text") == "json") {
+    out << report;
+    return 0;
+  }
+  out << "flagged " << result.flagged << " discrepancies, triaged "
+      << result.incidents.size() << " (" << result.total_probes
+      << " reproduction probes)\n";
+  for (const auto& inc : result.incidents) {
+    out << "#" << inc.rank << " [" << to_string(inc.confirmation) << "] "
+        << detect::to_string(inc.discrepancy.direction) << " "
+        << inc.discrepancy.cell.stimulus << " -> "
+        << inc.discrepancy.cell.response << " (present in "
+        << inc.discrepancy.present_in << ", absent in "
+        << inc.discrepancy.absent_in << ")\n";
+    if (!inc.reproduced) {
+      out << "    " << inc.reason << "\n";
+      continue;
+    }
+    out << "    minimized " << inc.original.topology.name() << "/s"
+        << inc.original.seed << " -> " << inc.minimal.topology.name()
+        << "/s" << inc.minimal.seed << ", churn "
+        << inc.original.churn_times.size() << " -> "
+        << inc.minimal.churn_times.size() << " events, tdelay "
+        << inc.minimal.tdelay.count() / 1000 << "ms ("
+        << inc.shrink.probes << " probes"
+        << (inc.shrink.fixpoint ? ", fixpoint" : "")
+        << (inc.shrink.budget_exhausted ? ", budget exhausted" : "")
+        << ")\n";
+    if (!inc.reason.empty()) out << "    " << inc.reason << "\n";
+    out << "    repro: "
+        << harness::repro_command(inc.minimal, inc.discrepancy.present_in,
+                                  inc.discrepancy.absent_in, result.scheme)
+        << "\n";
+  }
+  return 0;
+}
+
 int cmd_stability(const Args& args, std::ostream& out, std::ostream& err) {
   const auto profile = ospf_profile_by_name(args.get("impl", "frr"));
   if (!profile) {
@@ -605,16 +730,17 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
             << (e.kind == cache::PayloadKind::kSweepStats ? "sweep"
                                                           : "mined")
             << "\",\"bytes\":" << e.bytes << ",\"age_s\":" << e.age_seconds
+            << ",\"hits\":" << e.hits
             << ",\"valid\":" << (e.valid ? "true" : "false") << "}";
       }
       out << "]\n";
       return 0;
     }
-    out << "key kind bytes age_s valid\n";
+    out << "key kind bytes age_s hits valid\n";
     for (const auto& e : entries) {
       out << e.key.hex() << ' '
           << (e.kind == cache::PayloadKind::kSweepStats ? "sweep" : "mined")
-          << ' ' << e.bytes << ' ' << e.age_seconds << ' '
+          << ' ' << e.bytes << ' ' << e.age_seconds << ' ' << e.hits << ' '
           << (e.valid ? "yes" : "NO") << '\n';
     }
     out << entries.size() << " entries\n";
@@ -666,6 +792,8 @@ int run_cli(const std::vector<std::string>& tokens, std::ostream& out,
     return with_obs(*args, err, [&] { return cmd_sweep(*args, out, err); });
   if (args->command == "inject") return cmd_inject(*args, out, err);
   if (args->command == "validate") return cmd_validate(*args, out, err);
+  if (args->command == "triage")
+    return with_obs(*args, err, [&] { return cmd_triage(*args, out, err); });
   if (args->command == "stability")
     return with_obs(*args, err,
                     [&] { return cmd_stability(*args, out, err); });

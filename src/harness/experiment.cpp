@@ -15,7 +15,7 @@ namespace nidkit::harness {
 // `jobs` and `cache_dir` — document the exemption there. Then update the
 // expected size.
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(ExperimentConfig) == 152,
+static_assert(sizeof(ExperimentConfig) == 176,
               "ExperimentConfig grew: thread the new knob through "
               "scenario_for (or exempt it) and update this guard");
 #endif

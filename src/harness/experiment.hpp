@@ -36,6 +36,10 @@ struct ExperimentConfig {
   SimDuration lsa_refresh = 0s;
   SimDuration miner_horizon = 5s;
   double window_factor = 2.0;
+  /// Link-churn schedule (the chaos workload), copied into every scenario.
+  /// Triage shrinks this list event by event; the audit default matches
+  /// Scenario's.
+  std::vector<SimTime> churn_times = {60s, 110s};
   /// Worker threads for fanning out (topology, seed, implementation)
   /// scenarios. 0 = hardware_concurrency, 1 = the serial reference path.
   /// Results are bit-identical for every value (see parallel.hpp).
@@ -73,6 +77,7 @@ struct ExperimentConfig {
     s.link_loss = link_loss;
     s.duration = duration;
     s.lsa_refresh = lsa_refresh;
+    s.churn_times = churn_times;
     s.seed = seed;
     s.keep_bytes = keep_bytes;
     return s;

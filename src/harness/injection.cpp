@@ -1,5 +1,6 @@
 #include "harness/injection.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "mining/keying.hpp"
@@ -8,10 +9,28 @@
 
 namespace nidkit::harness {
 
+const std::vector<std::string>& injection_stimulus_labels() {
+  static const std::vector<std::string> kLabels = {
+      "Hello", "DBD", "LSR", "LSU", "LSU-stale", "LSAck", "LSAck+gtSN"};
+  return kLabels;
+}
+
+const std::map<std::string, std::string>& injection_stimulus_aliases() {
+  static const std::map<std::string, std::string> kAliases = {
+      {"LSU+gtSN", "LSU"}};
+  return kAliases;
+}
+
+std::string injection_canonical_stimulus(const std::string& s) {
+  const auto& aliases = injection_stimulus_aliases();
+  if (const auto it = aliases.find(s); it != aliases.end()) return it->second;
+  const auto& labels = injection_stimulus_labels();
+  if (std::find(labels.begin(), labels.end(), s) != labels.end()) return s;
+  return "";
+}
+
 bool injection_supports(const std::string& s) {
-  return s == "Hello" || s == "DBD" || s == "LSR" || s == "LSU" ||
-         s == "LSU+gtSN" || s == "LSU-stale" || s == "LSAck" ||
-         s == "LSAck+gtSN";
+  return !injection_canonical_stimulus(s).empty();
 }
 
 namespace {
@@ -23,7 +42,10 @@ std::int32_t max_seq(const trace::OspfDigest& d) { return d.max_seq(); }
 
 InjectionOutcome inject_and_observe(const InjectionConfig& config) {
   InjectionOutcome outcome;
-  outcome.stimulus = config.stimulus;
+  outcome.stimulus = config.stimulus;  // echo the requested label
+  // Dispatch on the canonical label so aliases cannot diverge from their
+  // targets ("" — unsupported — falls through every branch below).
+  const std::string stimulus = injection_canonical_stimulus(config.stimulus);
 
   netsim::Simulator sim;
   netsim::Network net(sim, config.seed);
@@ -73,27 +95,26 @@ InjectionOutcome inject_and_observe(const InjectionConfig& config) {
   Ipv4Addr dst = target_addr;
   std::int32_t stimulus_seq = std::numeric_limits<std::int32_t>::min();
 
-  if (config.stimulus == "Hello") {
+  if (stimulus == "Hello") {
     ospf::HelloBody hello;
     hello.network_mask = Ipv4Addr{255, 255, 255, 252};
     hello.neighbors.push_back(target_cfg.router_id);
     dst = kAllSpfRouters;
     body = std::move(hello);
-  } else if (config.stimulus == "DBD") {
+  } else if (stimulus == "DBD") {
     ospf::DbdBody dbd;
     dbd.flags = ospf::kDbdFlagInit | ospf::kDbdFlagMore | ospf::kDbdFlagMs;
     dbd.dd_sequence = 0xdead;
     body = std::move(dbd);
-  } else if (config.stimulus == "LSR") {
+  } else if (stimulus == "LSR") {
     ospf::LsRequestBody lsr;
     lsr.requests.push_back(ospf::LsRequestEntry{
         ospf::LsaType::kRouter, target_key.link_state_id,
         target_key.advertising_router});
     body = std::move(lsr);
-  } else if (config.stimulus == "LSU" || config.stimulus == "LSU+gtSN" ||
-             config.stimulus == "LSU-stale") {
+  } else if (stimulus == "LSU" || stimulus == "LSU-stale") {
     ospf::Lsa lsa = own_entry->lsa;
-    if (config.stimulus == "LSU-stale") {
+    if (stimulus == "LSU-stale") {
       // A stale instance of the *target's* LSA, older than its database
       // copy.
       lsa = target_entry->lsa;
@@ -107,9 +128,9 @@ InjectionOutcome inject_and_observe(const InjectionConfig& config) {
     ospf::LsUpdateBody lsu;
     lsu.lsas.push_back(std::move(lsa));
     body = std::move(lsu);
-  } else if (config.stimulus == "LSAck" || config.stimulus == "LSAck+gtSN") {
+  } else if (stimulus == "LSAck" || stimulus == "LSAck+gtSN") {
     ospf::LsaHeader h = target_entry->lsa.header;
-    if (config.stimulus == "LSAck+gtSN") {
+    if (stimulus == "LSAck+gtSN") {
       h.seq += 1;  // acknowledge an instance newer than anything sent
     }
     stimulus_seq = h.seq;

@@ -25,11 +25,23 @@ namespace nidkit::harness {
 ///   "DBD"         out-of-sequence database description
 ///   "LSR"         request for the target's router-LSA
 ///   "LSU"         fresh instance (seq+1) of the prober's router-LSA
-///   "LSU+gtSN"    alias of "LSU" (the crafted instance always carries a
-///                 greater LS-SN than anything previously sent)
 ///   "LSU-stale"   stale instance (seq-1) of the target's router-LSA
 ///   "LSAck"       unsolicited ack of the target's current router-LSA
 ///   "LSAck+gtSN"  ack carrying seq+1 of the target's router-LSA
+/// plus the aliases in injection_stimulus_aliases() — e.g. "LSU+gtSN" is
+/// "LSU" (the crafted instance always carries a greater LS-SN than
+/// anything previously sent).
+///
+/// These tables are the single source of truth for what the synthesizer
+/// in inject_and_observe dispatches on; triage's cell→stimulus mapping is
+/// tested against them so the two cannot silently drift apart.
+const std::vector<std::string>& injection_stimulus_labels();
+const std::map<std::string, std::string>& injection_stimulus_aliases();
+
+/// Canonical form of a stimulus label: aliases resolve to their target,
+/// canonical labels map to themselves, anything else to "".
+std::string injection_canonical_stimulus(const std::string& stimulus_label);
+
 bool injection_supports(const std::string& stimulus_label);
 
 struct InjectionConfig {

@@ -1,0 +1,96 @@
+// Delta-debug scenario minimization.
+//
+// Given a scenario that exhibits some property — for triage, "this
+// discrepancy cell still reproduces" — the minimizer greedily applies
+// single-step reductions (shrink the topology, drop chaos/churn events,
+// bisect the seed toward 1, halve TDelay) and keeps a step only when the
+// property survives it. The loop is deterministic by construction:
+//
+//   * candidate reductions are generated in a fixed canonical order,
+//     aggressive jumps first (ddmin's "try the big chunk before the
+//     pieces");
+//   * each round probes its *whole* candidate batch through the oracle —
+//     which may fan the batch out to any number of workers — and then
+//     accepts the canonically-first reproducing candidate, so the shrink
+//     trace is identical for --jobs 1 and --jobs 8;
+//   * oracle verdicts are memoized per candidate signature, so a scenario
+//     is never probed twice within one minimization and the probe count
+//     is itself deterministic.
+//
+// Termination: every accepted step strictly decreases the well-founded
+// measure (kind-distance-from-linear, routers, churn count, seed, tdelay),
+// so the loop reaches a fixpoint — a scenario none of whose single-step
+// reductions reproduce — unless the probe budget runs out first.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace nidkit::harness {
+
+struct MinimizeConfig {
+  /// Maximum oracle evaluations (each evaluation probes one candidate
+  /// scenario). The budget makes triage cost predictable; when it runs
+  /// out the result keeps the best scenario found so far with
+  /// budget_exhausted set and fixpoint unset.
+  std::size_t max_probes = 200;
+};
+
+/// One candidate reduction considered by the shrink loop, in trace form.
+struct ShrinkStep {
+  std::string phase;   ///< "topology", "churn", "seed" or "tdelay"
+  std::string action;  ///< e.g. "topology mesh-5 -> linear-2"
+  bool reproduced = false;  ///< oracle verdict for the candidate
+  bool kept = false;        ///< accepted into the shrinking scenario
+};
+
+struct MinimizeResult {
+  /// The minimized scenario (equal to the start if nothing shrank).
+  Scenario minimal;
+  /// Every candidate considered, in consideration order. Deterministic:
+  /// the same (start, config, oracle function) always yields byte-
+  /// identical traces regardless of oracle fan-out width.
+  std::vector<ShrinkStep> trace;
+  /// Fresh oracle evaluations spent (memoized re-considerations are
+  /// traced but not re-probed). Never exceeds config.max_probes.
+  std::size_t probes = 0;
+  /// True when the final round probed every candidate reduction of
+  /// `minimal` and none reproduced: `minimal` is 1-minimal within the
+  /// shrink lattice.
+  bool fixpoint = false;
+  /// True when max_probes truncated a round before it could finish.
+  bool budget_exhausted = false;
+};
+
+/// Batch reproduction oracle: verdict per candidate, same order. Must be a
+/// pure function of each scenario (the minimizer assumes memoizability);
+/// it is free to evaluate the batch in parallel.
+using BatchOracle =
+    std::function<std::vector<bool>(const std::vector<Scenario>&)>;
+
+/// One generated candidate reduction (exposed so the property suite can
+/// re-derive the fixpoint check independently of the loop).
+struct ShrinkCandidate {
+  Scenario scenario;
+  std::string phase;
+  std::string action;
+};
+
+/// All single-step reductions of `s`, canonical priority order, deduped
+/// by signature, never containing `s` itself.
+std::vector<ShrinkCandidate> shrink_candidates(const Scenario& s);
+
+/// Canonical textual fingerprint of the shrink-relevant knobs (topology,
+/// churn schedule, seed, tdelay) — the memo key of the loop.
+std::string shrink_signature(const Scenario& s);
+
+/// Runs the greedy shrink loop. `start` is assumed to reproduce (the
+/// caller established that); the result's minimal scenario reproduces too.
+MinimizeResult minimize_scenario(const Scenario& start,
+                                 const MinimizeConfig& config,
+                                 const BatchOracle& oracle);
+
+}  // namespace nidkit::harness

@@ -218,6 +218,45 @@ TEST_F(StoreTest, ClearRemovesEverything) {
   EXPECT_TRUE(!fs::exists(dir_) || fs::is_empty(dir_));
 }
 
+TEST_F(StoreTest, HitSidecarCountsReuseAcrossProcesses) {
+  Store store(dir_);
+  const auto key = key_for_seed(20);
+  store.put(key, sample_entry());
+  ASSERT_EQ(Store::ls(dir_).size(), 1u);
+  EXPECT_EQ(Store::ls(dir_).at(0).hits, 0u);
+
+  (void)store.get(key);  // memory hit
+  (void)store.get(key);  // memory hit
+  Store fresh(dir_);     // "another process"
+  (void)fresh.get(key);  // disk hit
+  EXPECT_EQ(Store::ls(dir_).at(0).hits, 3u);
+
+  // Misses touch nothing.
+  Store fresh2(dir_);
+  EXPECT_FALSE(fresh2.get(key_for_seed(21)).has_value());
+  EXPECT_EQ(Store::ls(dir_).at(0).hits, 3u);
+}
+
+TEST_F(StoreTest, ClearAndPruneRemoveHitSidecars) {
+  Store store(dir_);
+  const auto key = key_for_seed(22);
+  store.put(key, sample_entry());
+  (void)store.get(key);
+  EXPECT_EQ(Store::ls(dir_).at(0).hits, 1u);
+  EXPECT_EQ(Store::clear(dir_), 1u);
+  // The sidecar is gone with the entry, so the tree is pristine.
+  EXPECT_TRUE(!fs::exists(dir_) || fs::is_empty(dir_));
+
+  store.put(key, sample_entry());
+  (void)store.get(key);
+  EXPECT_EQ(Store::prune(dir_, 0.0), 1u);
+  EXPECT_TRUE(Store::ls(dir_).empty());
+  std::size_t stray = 0;
+  for (fs::recursive_directory_iterator it(dir_), end; it != end; ++it)
+    if (it->is_regular_file()) ++stray;
+  EXPECT_EQ(stray, 0u) << "prune must not orphan .hits sidecars";
+}
+
 TEST_F(StoreTest, MaintenanceOnMissingDirIsHarmless) {
   EXPECT_TRUE(Store::ls(dir_ + "/nope").empty());
   EXPECT_EQ(Store::prune(dir_ + "/nope", 0.0), 0u);

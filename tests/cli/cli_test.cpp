@@ -213,6 +213,7 @@ TEST(Cli, WarmAuditIsByteIdenticalAndMaintainable) {
   const auto ls = run({"cache", "ls", "--cache-dir", dir});
   EXPECT_EQ(ls.code, 0) << ls.err;
   EXPECT_NE(ls.out.find("2 entries"), std::string::npos);
+  EXPECT_NE(ls.out.find("hits"), std::string::npos);  // reuse column
 
   const auto cleared = run({"cache", "clear", "--cache-dir", dir});
   EXPECT_EQ(cleared.code, 0);
@@ -286,11 +287,84 @@ TEST(Cli, CacheLsJsonListsEntries) {
   EXPECT_NE(ls.out.find("\"key\":\""), std::string::npos);
   EXPECT_NE(ls.out.find("\"kind\":\"mined\""), std::string::npos);
   EXPECT_NE(ls.out.find("\"bytes\":"), std::string::npos);
+  EXPECT_NE(ls.out.find("\"hits\":0"), std::string::npos);
   EXPECT_NE(ls.out.find("\"valid\":true"), std::string::npos);
+
+  // A warm re-run consumes every entry once; the hit counter shows it.
+  const auto warm = run({"audit", "--impls", "frr,bird", "--topos",
+                         "linear-2", "--seeds", "1", "--duration-s", "90",
+                         "--cache-dir", dir});
+  EXPECT_EQ(warm.code, 0) << warm.err;
+  const auto warm_ls = run({"cache", "ls", "--json", "--cache-dir", dir});
+  EXPECT_NE(warm_ls.out.find("\"hits\":1"), std::string::npos);
+  EXPECT_EQ(warm_ls.out.find("\"hits\":0"), std::string::npos);
 
   run({"cache", "clear", "--cache-dir", dir});
   const auto empty = run({"cache", "ls", "--json", "--cache-dir", dir});
   EXPECT_EQ(empty.out, "[]\n");
+}
+
+TEST(Cli, TriageReportIsJobsAndCacheInvariant) {
+  const std::string dir = "cli_triage_cache.tmp";
+  const std::string rep_a = "cli_triage_a.tmp";
+  const std::string rep_b = "cli_triage_b.tmp";
+  run({"cache", "clear", "--cache-dir", dir});
+
+  const auto cold = run({"triage", "--impls", "frr,bird", "--topos",
+                         "linear-2,mesh-3", "--seeds", "1,2", "--duration-s",
+                         "90", "--jobs", "1", "--cache-dir", dir,
+                         "--report-out", rep_a});
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.out.find("flagged"), std::string::npos);
+
+  // Warm cache, different worker count: the report must not move a byte.
+  const auto warm = run({"triage", "--impls", "frr,bird", "--topos",
+                         "linear-2,mesh-3", "--seeds", "1,2", "--duration-s",
+                         "90", "--jobs", "4", "--cache-dir", dir,
+                         "--report-out", rep_b});
+  EXPECT_EQ(warm.code, 0) << warm.err;
+
+  const auto report_a = slurp(rep_a);
+  const auto report_b = slurp(rep_b);
+  ASSERT_FALSE(report_a.empty());
+  EXPECT_EQ(report_a, report_b);
+  EXPECT_NE(report_a.find("\"nidt-triage-v1\""), std::string::npos);
+  EXPECT_NE(report_a.find("\"incidents\":["), std::string::npos);
+
+  run({"cache", "clear", "--cache-dir", dir});
+  std::remove(rep_a.c_str());
+  std::remove(rep_b.c_str());
+}
+
+TEST(Cli, TriageJsonFormatPrintsTheReport) {
+  const auto r = run({"triage", "--impls", "frr,bird", "--topos",
+                      "linear-2,mesh-3", "--seeds", "1,2", "--duration-s",
+                      "90", "--format", "json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.rfind("{\"schema\":\"nidt-triage-v1\",\n", 0), 0u);
+  EXPECT_NE(r.out.find("\"repro\":\"nidt audit"), std::string::npos);
+}
+
+TEST(Cli, TriageRejectsBadBudget) {
+  const auto r = run({"triage", "--impls", "frr,bird", "--max-probes", "0"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("max-probes"), std::string::npos);
+}
+
+TEST(Cli, ChurnFlagAcceptsSecondsAndNone) {
+  const auto none = run({"audit", "--impls", "frr,bird", "--topos",
+                         "linear-2", "--seeds", "1", "--duration-s", "90",
+                         "--churn-s", "none"});
+  EXPECT_EQ(none.code, 0) << none.err;
+
+  const auto timed = run({"audit", "--impls", "frr,bird", "--topos",
+                          "linear-2", "--seeds", "1", "--duration-s", "90",
+                          "--churn-s", "40,70"});
+  EXPECT_EQ(timed.code, 0) << timed.err;
+
+  const auto bad = run({"audit", "--impls", "frr,bird", "--churn-s", "soon"});
+  EXPECT_NE(bad.code, 0);
+  EXPECT_NE(bad.err.find("churn-s"), std::string::npos);
 }
 
 TEST(Cli, NoCacheOverridesCacheDir) {

@@ -40,6 +40,7 @@ TEST(Config, ScenarioForCopiesExperimentKnobs) {
   c.duration = 99s;
   c.lsa_refresh = 31s;
   c.keep_bytes = true;
+  c.churn_times = {25s, 45s, 77s};
   const auto s = c.scenario_for(topo::Spec{topo::Kind::kRing, 4}, 42);
   EXPECT_EQ(s.topology.kind, topo::Kind::kRing);
   EXPECT_EQ(s.topology.routers, 4u);
@@ -50,6 +51,16 @@ TEST(Config, ScenarioForCopiesExperimentKnobs) {
   EXPECT_EQ(s.duration, SimDuration{99s});
   EXPECT_EQ(s.lsa_refresh, SimDuration{31s});
   EXPECT_TRUE(s.keep_bytes);
+  ASSERT_EQ(s.churn_times.size(), 3u);
+  EXPECT_EQ(s.churn_times[0], SimTime{25s});
+  EXPECT_EQ(s.churn_times[2], SimTime{77s});
+}
+
+TEST(Config, ChurnDefaultMatchesScenarioDefault) {
+  // The audit's default chaos schedule and a directly-run Scenario's must
+  // agree, or triage's audit-matrix repro search would probe different
+  // scenarios than the audit ran.
+  EXPECT_EQ(ExperimentConfig{}.churn_times, Scenario{}.churn_times);
 }
 
 TEST(Config, KeepBytesDefaultsOffForExperimentsOnForScenarios) {

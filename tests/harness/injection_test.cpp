@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace nidkit::harness {
 namespace {
 
@@ -23,6 +25,57 @@ TEST(Injection, SupportedStimuliAdvertised) {
                         "LSAck", "LSAck+gtSN"})
     EXPECT_TRUE(injection_supports(s)) << s;
   EXPECT_FALSE(injection_supports("Bogus"));
+}
+
+TEST(Injection, CanonicalLabelsMapToThemselves) {
+  for (const auto& label : injection_stimulus_labels()) {
+    EXPECT_EQ(injection_canonical_stimulus(label), label);
+    EXPECT_TRUE(injection_supports(label)) << label;
+  }
+}
+
+TEST(Injection, AliasesResolveIntoTheCanonicalTable) {
+  const auto& labels = injection_stimulus_labels();
+  for (const auto& [alias, canonical] : injection_stimulus_aliases()) {
+    // An alias never shadows a canonical label, and always lands on one.
+    EXPECT_EQ(std::find(labels.begin(), labels.end(), alias), labels.end())
+        << alias;
+    EXPECT_NE(std::find(labels.begin(), labels.end(), canonical), labels.end())
+        << canonical;
+    EXPECT_EQ(injection_canonical_stimulus(alias), canonical);
+  }
+  // The audit's mined label for a fresh flood maps to the plain LSU
+  // synthesizer — the alias this table exists for.
+  EXPECT_EQ(injection_canonical_stimulus("LSU+gtSN"), "LSU");
+  EXPECT_EQ(injection_canonical_stimulus("Bogus"), "");
+}
+
+TEST(Injection, AliasInjectsLikeItsCanonicalButEchoesTheRequest) {
+  const auto alias =
+      inject_and_observe(config_for("LSU+gtSN", ospf::frr_profile()));
+  const auto canonical =
+      inject_and_observe(config_for("LSU", ospf::frr_profile()));
+  ASSERT_TRUE(alias.injected);
+  ASSERT_TRUE(canonical.injected);
+  EXPECT_EQ(alias.responses, canonical.responses);
+  // The outcome echoes what the caller asked for, not the resolved label.
+  EXPECT_EQ(alias.stimulus, "LSU+gtSN");
+  EXPECT_EQ(canonical.stimulus, "LSU");
+}
+
+TEST(Validation, StimulusForCellStaysWithinTheTables) {
+  using mining::RelationCell;
+  const auto dir = mining::RelationDirection::kSendToRecv;
+  // Every stimulus the cell mapper can emit must be injectable — a
+  // mapper output outside the tables would silently degrade triage.
+  for (const auto* stim : {"LSU", "LSAck", "LSR", "Hello", "DBD"}) {
+    const auto mapped = stimulus_for_cell(RelationCell{stim, "LSAck"}, dir);
+    if (!mapped.empty()) EXPECT_TRUE(injection_supports(mapped)) << mapped;
+  }
+  EXPECT_TRUE(injection_supports(
+      stimulus_for_cell(RelationCell{"LSU", "LSAck+gtSN"}, dir)));
+  EXPECT_TRUE(injection_supports(
+      stimulus_for_cell(RelationCell{"LSAck", "LSAck+gtSN"}, dir)));
 }
 
 TEST(Injection, UnsupportedStimulusNotInjected) {
