@@ -14,12 +14,14 @@
 //   traced_fanout   frame_fanout with a TraceLog attached — what an audit
 //                   scenario actually runs.
 //   audit           wall-clock of the paper's default `nidt audit`
-//                   workload at --jobs 1 (skipped in --short mode).
+//                   workload at --jobs 1 (measured in both modes; --short
+//                   takes the best of several repeats so CI can gate it).
 //
 // Linked against nidkit_alloc_count, so steady-state allocations per event
 // are exact, not sampled. Results are printed and written to
 // BENCH_simcore.json (override with --out). `--short` shrinks the event
 // counts for CI smoke runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -186,6 +188,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_simcore.json";
   std::string baseline_path;
   double gate_pct = 2.0;
+  double audit_gate_pct = 30.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--short") == 0) {
       short_mode = true;
@@ -195,10 +198,13 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--gate-pct") == 0 && i + 1 < argc) {
       gate_pct = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--audit-gate-pct") == 0 && i + 1 < argc) {
+      audit_gate_pct = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: bench_simcore [--short] [--out file] "
-                   "[--baseline file] [--gate-pct 2.0]\n");
+                   "[--baseline file] [--gate-pct 2.0] "
+                   "[--audit-gate-pct 30.0]\n");
       return 2;
     }
   }
@@ -239,8 +245,8 @@ int main(int argc, char** argv) {
               fanout.events_per_sec, fanout.allocs_per_event,
               static_cast<unsigned long long>(fanout.events));
 
-  const Measurement traced =
-      bench_frame_fanout(fanout_sends, warmup / 8, true);
+  const Measurement traced = best_of(
+      [&] { return bench_frame_fanout(fanout_sends, warmup / 8, true); });
   std::printf("traced_fanout: %12.0f frames/s   %.3f allocs/event"
               "   (%llu deliveries)\n",
               traced.events_per_sec, traced.allocs_per_event,
@@ -265,11 +271,13 @@ int main(int argc, char** argv) {
               obs_fanout.events_per_sec, obs_fanout.allocs_per_event,
               obs_overhead_pct);
 
-  double audit_ms = -1;
-  if (!short_mode) {
-    audit_ms = bench_audit_wall_ms();
-    std::printf("audit (paper defaults, jobs=1): %.0f ms\n", audit_ms);
-  }
+  // The audit workload runs in both modes so CI can gate it. Best-of
+  // repeats: wall clock on shared runners is noisy, and only a shift of
+  // the fastest run indicates a real regression.
+  double audit_ms = bench_audit_wall_ms();
+  for (int r = 1; r < repeats; ++r)
+    audit_ms = std::min(audit_ms, bench_audit_wall_ms());
+  std::printf("audit (paper defaults, jobs=1): %.0f ms\n", audit_ms);
 
   char json[1280];
   std::snprintf(
@@ -336,6 +344,28 @@ int main(int argc, char** argv) {
     check("frame_fanout",
           extract_rate(base, "frame_fanout", "frames_per_sec"),
           fanout.events_per_sec);
+    check("traced_fanout",
+          extract_rate(base, "traced_fanout", "frames_per_sec"),
+          traced.events_per_sec);
+    // audit_wall_ms is a time, not a rate: lower is better, and at
+    // ~tens of ms it is far noisier than the tight fan-out loops, so it
+    // gets its own (looser) limit.
+    const std::string audit_needle = "\"audit_wall_ms\":";
+    const auto audit_pos = base.find(audit_needle);
+    const double base_audit_ms =
+        audit_pos == std::string::npos
+            ? -1
+            : std::atof(base.c_str() + audit_pos + audit_needle.size());
+    if (base_audit_ms > 0 && audit_ms > 0) {
+      const double delta_pct =
+          (audit_ms - base_audit_ms) * 100.0 / base_audit_ms;
+      const bool ok = delta_pct <= audit_gate_pct;
+      std::printf(
+          "gate %-13s %.0f ms -> %.0f ms (%+.2f%%, limit %.2f%%): %s\n",
+          "audit_wall_ms", base_audit_ms, audit_ms, delta_pct,
+          audit_gate_pct, ok ? "ok" : "FAIL");
+      if (!ok) gate_ok = false;
+    }
   }
 
   return zero_alloc && gate_ok ? 0 : 3;

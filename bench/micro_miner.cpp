@@ -6,6 +6,9 @@
 //   * window factor 1x vs 2x vs 3x — the paper's "at least 2*TDelay" rule.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "harness/experiment.hpp"
 #include "mining/miner.hpp"
 
@@ -123,4 +126,25 @@ BENCHMARK(BM_SimulatorEvents)->Arg(1000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so CI can pass the same `--short` flag as the other benches:
+// it maps to a small per-bench time budget (the fixture trace still runs
+// once in full) instead of google-benchmark's 0.5 s default, keeping the
+// release-bench smoke run to a few seconds while exercising every bench.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool short_mode = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--short") == 0)
+      short_mode = true;
+    else
+      args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.05";
+  if (short_mode) args.push_back(min_time);
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

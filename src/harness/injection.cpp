@@ -36,7 +36,7 @@ bool injection_supports(const std::string& s) {
 namespace {
 
 /// Largest LS sequence number carried by an OSPF digest, or INT32_MIN.
-std::int32_t max_seq(const trace::OspfDigest& d) { return d.max_seq(); }
+std::int32_t max_seq(const trace::OspfView& d) { return d.max_seq(); }
 
 }  // namespace
 

@@ -26,12 +26,12 @@ std::string state_label(int state) {
 KeyScheme ospf_type_scheme() {
   KeyScheme s;
   s.name = "ospf-type";
-  s.stimulus = [](const trace::PacketRecord& r) -> std::optional<std::string> {
+  s.stimulus = [](const trace::RecordView& r) -> std::optional<std::string> {
     const auto* o = r.ospf();
     if (o == nullptr) return std::nullopt;
     return ospf_type_label(o->pkt_type);
   };
-  s.response = [](const trace::PacketRecord&, const trace::PacketRecord& resp)
+  s.response = [](const trace::RecordView&, const trace::RecordView& resp)
       -> std::optional<std::string> {
     const auto* o = resp.ospf();
     if (o == nullptr) return std::nullopt;
@@ -43,15 +43,15 @@ KeyScheme ospf_type_scheme() {
 KeyScheme ospf_greater_lssn_scheme() {
   KeyScheme s;
   s.name = "ospf-greater-lssn";
-  s.stimulus = [](const trace::PacketRecord& r) -> std::optional<std::string> {
+  s.stimulus = [](const trace::RecordView& r) -> std::optional<std::string> {
     const auto* o = r.ospf();
     if (o == nullptr) return std::nullopt;
     if (o->pkt_type != 4 && o->pkt_type != 5) return std::nullopt;
     if (o->lsas.empty()) return std::nullopt;
     return ospf_type_label(o->pkt_type);
   };
-  s.response = [](const trace::PacketRecord& stim,
-                  const trace::PacketRecord& resp)
+  s.response = [](const trace::RecordView& stim,
+                  const trace::RecordView& resp)
       -> std::optional<std::string> {
     const auto* so = stim.ospf();
     const auto* ro = resp.ospf();
@@ -79,12 +79,12 @@ KeyScheme ospf_greater_lssn_scheme() {
 KeyScheme ospf_state_scheme() {
   KeyScheme s;
   s.name = "ospf-state";
-  s.stimulus = [](const trace::PacketRecord& r) -> std::optional<std::string> {
+  s.stimulus = [](const trace::RecordView& r) -> std::optional<std::string> {
     const auto* o = r.ospf();
     if (o == nullptr) return std::nullopt;
     return ospf_type_label(o->pkt_type) + "@" + state_label(r.observer_state);
   };
-  s.response = [](const trace::PacketRecord&, const trace::PacketRecord& resp)
+  s.response = [](const trace::RecordView&, const trace::RecordView& resp)
       -> std::optional<std::string> {
     const auto* o = resp.ospf();
     if (o == nullptr) return std::nullopt;
@@ -95,7 +95,7 @@ KeyScheme ospf_state_scheme() {
 }
 
 KeyScheme ospf_lsa_type_scheme() {
-  auto label = [](const trace::PacketRecord& r) -> std::optional<std::string> {
+  auto label = [](const trace::RecordView& r) -> std::optional<std::string> {
     const auto* o = r.ospf();
     if (o == nullptr) return std::nullopt;
     std::string out = ospf_type_label(o->pkt_type);
@@ -120,15 +120,15 @@ KeyScheme ospf_lsa_type_scheme() {
   KeyScheme s;
   s.name = "ospf-lsa-type";
   s.stimulus = label;
-  s.response = [label](const trace::PacketRecord&,
-                       const trace::PacketRecord& resp) {
+  s.response = [label](const trace::RecordView&,
+                       const trace::RecordView& resp) {
     return label(resp);
   };
   return s;
 }
 
 KeyScheme rip_refined_scheme() {
-  auto label = [](const trace::PacketRecord& r) -> std::optional<std::string> {
+  auto label = [](const trace::RecordView& r) -> std::optional<std::string> {
     const auto* p = r.rip();
     if (p == nullptr) return std::nullopt;
     if (p->command == 1)
@@ -139,15 +139,15 @@ KeyScheme rip_refined_scheme() {
   KeyScheme s;
   s.name = "rip-refined";
   s.stimulus = label;
-  s.response = [label](const trace::PacketRecord&,
-                       const trace::PacketRecord& resp) {
+  s.response = [label](const trace::RecordView&,
+                       const trace::RecordView& resp) {
     return label(resp);
   };
   return s;
 }
 
 KeyScheme ospf_dbd_flags_scheme() {
-  auto label = [](const trace::PacketRecord& r) -> std::optional<std::string> {
+  auto label = [](const trace::RecordView& r) -> std::optional<std::string> {
     const auto* o = r.ospf();
     if (o == nullptr) return std::nullopt;
     if (o->pkt_type != 2) return ospf_type_label(o->pkt_type);
@@ -167,8 +167,8 @@ KeyScheme ospf_dbd_flags_scheme() {
   KeyScheme s;
   s.name = "ospf-dbd-flags";
   s.stimulus = label;
-  s.response = [label](const trace::PacketRecord&,
-                       const trace::PacketRecord& resp) {
+  s.response = [label](const trace::RecordView&,
+                       const trace::RecordView& resp) {
     return label(resp);
   };
   return s;
@@ -176,7 +176,7 @@ KeyScheme ospf_dbd_flags_scheme() {
 
 KeyScheme bgp_message_scheme(std::size_t longpath_threshold) {
   auto label = [longpath_threshold](
-                   const trace::PacketRecord& r) -> std::optional<std::string> {
+                   const trace::RecordView& r) -> std::optional<std::string> {
     const auto* b = r.bgp();
     if (b == nullptr) return std::nullopt;
     switch (b->msg_type) {
@@ -195,15 +195,15 @@ KeyScheme bgp_message_scheme(std::size_t longpath_threshold) {
   KeyScheme s;
   s.name = "bgp-message";
   s.stimulus = label;
-  s.response = [label](const trace::PacketRecord&,
-                       const trace::PacketRecord& resp) {
+  s.response = [label](const trace::RecordView&,
+                       const trace::RecordView& resp) {
     return label(resp);
   };
   return s;
 }
 
 KeyScheme rip_command_scheme() {
-  auto label = [](const trace::PacketRecord& r) -> std::optional<std::string> {
+  auto label = [](const trace::RecordView& r) -> std::optional<std::string> {
     const auto* p = r.rip();
     if (p == nullptr) return std::nullopt;
     if (p->command == 1)
@@ -213,8 +213,8 @@ KeyScheme rip_command_scheme() {
   KeyScheme s;
   s.name = "rip-command";
   s.stimulus = label;
-  s.response = [label](const trace::PacketRecord&,
-                       const trace::PacketRecord& resp) {
+  s.response = [label](const trace::RecordView&,
+                       const trace::RecordView& resp) {
     return label(resp);
   };
   return s;

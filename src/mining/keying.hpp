@@ -21,13 +21,13 @@ struct KeyScheme {
 
   /// Label for a stimulus record, or nullopt if the record does not
   /// participate in this scheme (e.g. a non-OSPF frame).
-  std::function<std::optional<std::string>(const trace::PacketRecord&)>
+  std::function<std::optional<std::string>(const trace::RecordView&)>
       stimulus;
 
   /// Label for a response record given its stimulus, or nullopt if the
   /// pair is outside the scheme.
-  std::function<std::optional<std::string>(const trace::PacketRecord& stim,
-                                           const trace::PacketRecord& resp)>
+  std::function<std::optional<std::string>(const trace::RecordView& stim,
+                                           const trace::RecordView& resp)>
       response;
 };
 

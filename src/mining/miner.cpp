@@ -7,7 +7,11 @@ namespace nidkit::mining {
 
 MinedPairs CausalMiner::mine_pairs(const trace::TraceLog& log) const {
   MinedPairs out;
-  const auto& recs = log.records();
+  // Attribution touches only the time and direction of each record, so it
+  // reads the trace's flat columns directly — no per-record
+  // materialization on the mining hot path.
+  const auto times = log.times();
+  const auto sends_col = log.send_flags();
   const SimDuration threshold = config_.threshold();
   const bool capped = config_.horizon.count() > 0;
 
@@ -18,7 +22,7 @@ MinedPairs CausalMiner::mine_pairs(const trace::TraceLog& log) const {
   std::vector<std::size_t> sends;
   std::vector<std::size_t> recvs;
   for (netsim::NodeId node = 0; node < log.node_index_extent(); ++node) {
-    const auto& idx = log.node_records(node);
+    const auto idx = log.node_records(node);
     if (idx.empty()) continue;
     // Split the node's records by direction, preserving time order, so the
     // "first opposite-direction record past the threshold" is a single
@@ -27,20 +31,20 @@ MinedPairs CausalMiner::mine_pairs(const trace::TraceLog& log) const {
     recvs.clear();
     sends.reserve(idx.size());
     recvs.reserve(idx.size());
-    for (const std::size_t i : idx)
-      (recs[i].is_send() ? sends : recvs).push_back(i);
+    for (const std::uint32_t i : idx)
+      (sends_col[i] ? sends : recvs).push_back(i);
 
     auto attribute = [&](const std::vector<std::size_t>& stimuli,
                          const std::vector<std::size_t>& responses,
                          std::vector<CausalPair>& sink) {
       std::size_t cursor = 0;  // stimuli are time-ordered, so this advances
       for (const std::size_t si : stimuli) {
-        const SimTime earliest = recs[si].time + threshold;
+        const SimTime earliest = times[si] + threshold;
         while (cursor < responses.size() &&
-               recs[responses[cursor]].time < earliest)
+               times[responses[cursor]] < earliest)
           ++cursor;
         if (cursor == responses.size()) break;
-        const SimTime first_time = recs[responses[cursor]].time;
+        const SimTime first_time = times[responses[cursor]];
         if (capped && first_time > earliest + config_.horizon) continue;
         // "First packet past the threshold", generalized to simultaneous
         // arrivals: all records tied at the earliest qualifying timestamp
@@ -48,7 +52,7 @@ MinedPairs CausalMiner::mine_pairs(const trace::TraceLog& log) const {
         // so taking the whole tie set makes the mined relations invariant
         // under reordering of equal-time trace events.
         for (std::size_t j = cursor; j < responses.size() &&
-                                     recs[responses[j]].time == first_time;
+                                     times[responses[j]] == first_time;
              ++j)
           sink.push_back(CausalPair{si, responses[j]});
       }
@@ -63,12 +67,11 @@ RelationSet CausalMiner::classify(const trace::TraceLog& log,
                                   const MinedPairs& pairs,
                                   const KeyScheme& scheme) const {
   RelationSet set;
-  const auto& recs = log.records();
   auto apply = [&](const std::vector<CausalPair>& list,
                    RelationDirection dir) {
     for (const auto& p : list) {
-      const auto& stim = recs[p.stimulus_index];
-      const auto& resp = recs[p.response_index];
+      const trace::RecordView stim = log.view(p.stimulus_index);
+      const trace::RecordView resp = log.view(p.response_index);
       const auto skey = scheme.stimulus(stim);
       if (!skey) continue;
       const auto rkey = scheme.response(stim, resp);
@@ -89,32 +92,35 @@ RelationSet CausalMiner::mine(const trace::TraceLog& log,
 
 MinedPairs true_pairs(const trace::TraceLog& log) {
   MinedPairs out;
-  const auto& recs = log.records();
+  // Provenance mining needs only four columns; walk them flat.
+  const auto nodes = log.nodes();
+  const auto sends = log.send_flags();
+  const auto frame_ids = log.frame_ids();
+  const auto caused = log.caused_by_ids();
+  const std::size_t count = log.size();
   // Per node: map frame id -> latest record index that carried it, per
   // direction, so provenance lookups are O(log n).
   std::map<std::pair<netsim::NodeId, std::uint64_t>, std::size_t> recv_by_id;
   std::map<std::pair<netsim::NodeId, std::uint64_t>, std::size_t> send_by_id;
-  for (std::size_t i = 0; i < recs.size(); ++i) {
-    const auto& r = recs[i];
-    auto key = std::make_pair(r.node, r.frame_id);
-    if (r.is_send())
+  for (std::size_t i = 0; i < count; ++i) {
+    auto key = std::make_pair(nodes[i], frame_ids[i]);
+    if (sends[i])
       send_by_id.emplace(key, i);  // first transmission wins
     else
       recv_by_id.emplace(key, i);
   }
-  for (std::size_t i = 0; i < recs.size(); ++i) {
-    const auto& r = recs[i];
-    if (r.caused_by == 0) continue;
-    if (r.is_send()) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (caused[i] == 0) continue;
+    if (sends[i]) {
       // This node sent a frame caused by a frame it received earlier:
       // recv→send ground truth at this node.
-      auto it = recv_by_id.find({r.node, r.caused_by});
+      auto it = recv_by_id.find({nodes[i], caused[i]});
       if (it != recv_by_id.end())
         out.recv_to_send.push_back(CausalPair{it->second, i});
     } else {
       // This node received a frame that a *peer* sent in response to a
       // frame this node transmitted: send→recv ground truth here.
-      auto it = send_by_id.find({r.node, r.caused_by});
+      auto it = send_by_id.find({nodes[i], caused[i]});
       if (it != send_by_id.end())
         out.send_to_recv.push_back(CausalPair{it->second, i});
     }
@@ -123,7 +129,8 @@ MinedPairs true_pairs(const trace::TraceLog& log) {
 }
 
 PairAccuracy score_pairs(const trace::TraceLog& log, const MinedPairs& mined) {
-  const auto& recs = log.records();
+  const auto frame_ids = log.frame_ids();
+  const auto caused = log.caused_by_ids();
   PairAccuracy acc;
   const MinedPairs truth = true_pairs(log);
   acc.truth = truth.send_to_recv.size() + truth.recv_to_send.size();
@@ -144,9 +151,8 @@ PairAccuracy score_pairs(const trace::TraceLog& log, const MinedPairs& mined) {
       }
       // ...or if the response's cause chain points at the stimulus frame
       // (covers multi-record frames, e.g. LAN fan-out).
-      const auto& stim = recs[p.stimulus_index];
-      const auto& resp = recs[p.response_index];
-      if (resp.caused_by != 0 && resp.caused_by == stim.frame_id)
+      if (caused[p.response_index] != 0 &&
+          caused[p.response_index] == frame_ids[p.stimulus_index])
         ++acc.correct;
     }
   };

@@ -22,7 +22,7 @@ void le32(std::ostream& os, std::uint32_t v) {
 
 }  // namespace
 
-std::vector<std::uint8_t> synthesize_ip_packet(const PacketRecord& record) {
+std::vector<std::uint8_t> synthesize_ip_packet(const RecordView& record) {
   ByteWriter w(20 + record.bytes.size());
   const auto total_len = static_cast<std::uint16_t>(20 + record.bytes.size());
   w.u8(0x45);  // version 4, IHL 5

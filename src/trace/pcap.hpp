@@ -36,6 +36,6 @@ std::size_t export_pcap(const TraceLog& log, std::ostream& os,
 
 /// Builds the synthesized IPv4 header + payload for one record (exposed
 /// for tests).
-std::vector<std::uint8_t> synthesize_ip_packet(const PacketRecord& record);
+std::vector<std::uint8_t> synthesize_ip_packet(const RecordView& record);
 
 }  // namespace nidkit::trace

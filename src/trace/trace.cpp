@@ -6,14 +6,44 @@
 #include "packet/bgp_packet.hpp"
 #include "packet/ospf_packet.hpp"
 #include "packet/rip_packet.hpp"
+#include "util/checksum.hpp"
 
 namespace nidkit::trace {
 
-std::int32_t OspfDigest::max_seq() const {
+namespace {
+
+constexpr std::uint32_t kDigestKindShift = 30;
+constexpr std::uint32_t kDigestIndexMask = (1u << kDigestKindShift) - 1;
+
+inline std::uint16_t be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint32_t{p[0]} << 8) | p[1]);
+}
+inline std::uint32_t be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline OspfDigest::LsaDigest lsa_digest_from_header(const std::uint8_t* h) {
+  OspfDigest::LsaDigest d;
+  d.age = be16(h);
+  d.lsa_type = h[3];
+  d.link_state_id = Ipv4Addr{be32(h + 4)};
+  d.advertising_router = RouterId{be32(h + 8)};
+  d.seq = static_cast<std::int32_t>(be32(h + 12));
+  return d;
+}
+
+template <typename LsaRange>
+std::int32_t max_seq_of(const LsaRange& lsas) {
   std::int32_t best = std::numeric_limits<std::int32_t>::min();
   for (const auto& l : lsas) best = std::max(best, l.seq);
   return best;
 }
+
+}  // namespace
+
+std::int32_t OspfDigest::max_seq() const { return max_seq_of(lsas); }
+std::int32_t OspfView::max_seq() const { return max_seq_of(lsas); }
 
 Digest digest_frame(const netsim::Frame& frame) {
   if (frame.protocol == ospf::kIpProtoOspf) {
@@ -68,34 +98,406 @@ Digest digest_frame(const netsim::Frame& frame) {
   return std::monostate{};
 }
 
+RecordView::RecordView(const PacketRecord& rec)
+    : time(rec.time),
+      node(rec.node),
+      iface(rec.iface),
+      direction(rec.direction),
+      src(rec.src),
+      dst(rec.dst),
+      protocol(rec.protocol),
+      frame_id(rec.frame_id),
+      caused_by(rec.caused_by),
+      observer_state(rec.observer_state),
+      bytes(rec.bytes) {
+  if (const auto* o = rec.ospf()) {
+    ospf_store_.pkt_type = o->pkt_type;
+    ospf_store_.dbd_flags = o->dbd_flags;
+    ospf_store_.lsas = {o->lsas.data(), o->lsas.size()};
+    ospf_ = &ospf_store_;
+  } else if (const auto* r = rec.rip()) {
+    rip_store_ = *r;
+    rip_ = &rip_store_;
+  } else if (const auto* b = rec.bgp()) {
+    bgp_store_ = *b;
+    bgp_ = &bgp_store_;
+  }
+}
+
+RecordView& RecordView::operator=(const RecordView& other) {
+  time = other.time;
+  node = other.node;
+  iface = other.iface;
+  direction = other.direction;
+  src = other.src;
+  dst = other.dst;
+  protocol = other.protocol;
+  frame_id = other.frame_id;
+  caused_by = other.caused_by;
+  observer_state = other.observer_state;
+  bytes = other.bytes;
+  ospf_store_ = other.ospf_store_;
+  rip_store_ = other.rip_store_;
+  bgp_store_ = other.bgp_store_;
+  // Digest pointers either target the log's pools (copy as-is) or the
+  // source view's inline store (re-point at our own copy).
+  ospf_ = other.ospf_ == &other.ospf_store_ ? &ospf_store_ : other.ospf_;
+  rip_ = other.rip_ == &other.rip_store_ ? &rip_store_ : other.rip_;
+  bgp_ = other.bgp_ == &other.bgp_store_ ? &bgp_store_ : other.bgp_;
+  return *this;
+}
+
+TraceLog::TraceLog() : arena_(std::make_unique<util::Arena>()) {
+  util::Arena* a = arena_.get();
+  time_.set_arena(a);
+  node_.set_arena(a);
+  iface_.set_arena(a);
+  send_.set_arena(a);
+  src_.set_arena(a);
+  dst_.set_arena(a);
+  protocol_.set_arena(a);
+  frame_id_.set_arena(a);
+  caused_by_.set_arena(a);
+  observer_state_.set_arena(a);
+  digest_ref_.set_arena(a);
+  bytes_.set_arena(a);
+  ospf_pool_.set_arena(a);
+  rip_pool_.set_arena(a);
+  bgp_pool_.set_arena(a);
+  by_node_.set_arena(a);
+}
+
+TraceLog::~TraceLog() { release_bytes(); }
+
+TraceLog::TraceLog(TraceLog&& other) noexcept = default;
+
+TraceLog& TraceLog::operator=(TraceLog&& other) noexcept {
+  if (this != &other) {
+    release_bytes();
+    arena_ = std::move(other.arena_);
+    time_ = std::move(other.time_);
+    node_ = std::move(other.node_);
+    iface_ = std::move(other.iface_);
+    send_ = std::move(other.send_);
+    src_ = std::move(other.src_);
+    dst_ = std::move(other.dst_);
+    protocol_ = std::move(other.protocol_);
+    frame_id_ = std::move(other.frame_id_);
+    caused_by_ = std::move(other.caused_by_);
+    observer_state_ = std::move(other.observer_state_);
+    digest_ref_ = std::move(other.digest_ref_);
+    bytes_ = std::move(other.bytes_);
+    ospf_pool_ = std::move(other.ospf_pool_);
+    rip_pool_ = std::move(other.rip_pool_);
+    bgp_pool_ = std::move(other.bgp_pool_);
+    by_node_ = std::move(other.by_node_);
+    prober_ = std::move(other.prober_);
+    keep_bytes_ = other.keep_bytes_;
+  }
+  return *this;
+}
+
+void TraceLog::release_bytes() noexcept {
+  for (util::SharedBytes::Handle h : bytes_) {
+    if (h != nullptr) util::SharedBytes::release_handle(h);
+  }
+}
+
 void TraceLog::attach(netsim::Network& net) {
   net.set_tap([this](const netsim::TapEvent& ev) { on_tap(ev); });
 }
 
-void TraceLog::on_tap(const netsim::TapEvent& ev) {
-  PacketRecord rec;
-  rec.time = ev.time;
-  rec.node = ev.node;
-  rec.iface = ev.iface;
-  rec.direction = ev.direction;
-  rec.src = ev.frame->src;
-  rec.dst = ev.frame->dst;
-  rec.protocol = ev.frame->protocol;
-  rec.frame_id = ev.frame->id;
-  rec.caused_by = ev.frame->caused_by;
-  if (prober_) rec.observer_state = prober_(ev.node);
-  // Sharing, not copying: the record holds another reference to the
-  // frame's payload cell.
-  if (keep_bytes_) rec.bytes = ev.frame->payload;
-  rec.digest = digest_frame(*ev.frame);
-  index_record(rec.node, records_.size());
-  records_.push_back(std::move(rec));
+void TraceLog::index_record(netsim::NodeId node, std::size_t index) {
+  if (node >= by_node_.size()) [[unlikely]] {
+    const std::size_t old = by_node_.size();
+    by_node_.resize(node + 1);
+    for (std::size_t i = old; i < by_node_.size(); ++i)
+      by_node_[i].set_arena(arena_.get());
+  }
+  by_node_[node].push_back(static_cast<std::uint32_t>(index));
 }
 
-const std::vector<std::size_t>& TraceLog::node_records(
+void TraceLog::push_common(SimTime time, netsim::NodeId node,
+                           netsim::IfaceIndex iface,
+                           netsim::Direction direction, Ipv4Addr src,
+                           Ipv4Addr dst, std::uint8_t protocol,
+                           std::uint64_t frame_id, std::uint64_t caused_by,
+                           int observer_state,
+                           util::SharedBytes::Handle bytes) {
+  const std::size_t idx = time_.size();
+  time_.push_back(time);
+  node_.push_back(node);
+  iface_.push_back(iface);
+  send_.push_back(direction == netsim::Direction::kSend ? 1 : 0);
+  src_.push_back(src.value());
+  dst_.push_back(dst.value());
+  protocol_.push_back(protocol);
+  frame_id_.push_back(frame_id);
+  caused_by_.push_back(caused_by);
+  observer_state_.push_back(observer_state);
+  bytes_.push_back(bytes);
+  index_record(node, idx);
+}
+
+void TraceLog::push_digest(const Digest& digest) {
+  if (const auto* o = std::get_if<OspfDigest>(&digest)) {
+    OspfView v;
+    v.pkt_type = o->pkt_type;
+    v.dbd_flags = o->dbd_flags;
+    if (!o->lsas.empty()) {
+      auto* slab =
+          arena_->allocate_array<OspfDigest::LsaDigest>(o->lsas.size());
+      for (std::size_t i = 0; i < o->lsas.size(); ++i) slab[i] = o->lsas[i];
+      v.lsas = {slab, o->lsas.size()};
+    }
+    digest_ref_.push_back((kDigestOspf << kDigestKindShift) |
+                          static_cast<std::uint32_t>(ospf_pool_.size()));
+    ospf_pool_.push_back(v);
+  } else if (const auto* r = std::get_if<RipDigest>(&digest)) {
+    digest_ref_.push_back((kDigestRip << kDigestKindShift) |
+                          static_cast<std::uint32_t>(rip_pool_.size()));
+    rip_pool_.push_back(*r);
+  } else if (const auto* b = std::get_if<BgpDigest>(&digest)) {
+    digest_ref_.push_back((kDigestBgp << kDigestKindShift) |
+                          static_cast<std::uint32_t>(bgp_pool_.size()));
+    bgp_pool_.push_back(*b);
+  } else {
+    digest_ref_.push_back(kDigestNone);
+  }
+}
+
+void TraceLog::append(PacketRecord record) {
+  push_common(record.time, record.node, record.iface, record.direction,
+              record.src, record.dst, record.protocol, record.frame_id,
+              record.caused_by, record.observer_state,
+              record.bytes.retain());
+  push_digest(record.digest);
+}
+
+// Header-only OSPF digest, validation-equivalent to ospf::decode for every
+// frame the simulator's encoders produce: version/type/AuType checks, the
+// §D.4 header checksum (MD5 framing for AuType 2), body shape per packet
+// type, and the per-LSA Fletcher checksum for LSUs. The one divergence is
+// deliberate: interior LSA *body* malformations (e.g. a ragged router-LSA
+// link block behind a correct Fletcher sum) pass here but fail full decode.
+// Only hand-crafted traces can contain such frames, and those enter through
+// load(), which digests via digest_frame's full decode.
+bool TraceLog::fast_ospf_digest(std::span<const std::uint8_t> wire) {
+  constexpr std::size_t kHdr = ospf::kOspfHeaderSize;    // 24
+  constexpr std::size_t kLsaHdr = ospf::kLsaHeaderSize;  // 20
+  if (wire.size() < kHdr) return false;
+  const std::uint8_t* p = wire.data();
+  if (p[0] != ospf::kOspfVersion) return false;
+  const std::uint8_t type = p[1];
+  if (type < 1 || type > 5) return false;
+  const std::size_t length = be16(p + 2);
+  if (length < kHdr) return false;
+  const std::uint16_t au_type = be16(p + 14);
+  if (au_type > 2) return false;
+  if (au_type == 2) {
+    // Cryptographic auth (§D.4.3): 16-byte digest trails the packet, the
+    // length field excludes it, no standard checksum. Byte 19 is the
+    // auth-data length.
+    if (length + 16 != wire.size()) return false;
+    if (p[19] != 16) return false;
+  } else {
+    if (length != wire.size()) return false;
+    // §D.4: checksum covers the packet with the auth field (bytes 16..24)
+    // excluded; summing around the hole avoids the copy decode makes.
+    if (internet_checksum2(wire.first(16), wire.subspan(24, length - 24)) !=
+        0)
+      return false;
+  }
+
+  const std::uint8_t* body = p + kHdr;
+  const std::size_t blen = length - kHdr;
+  OspfView v;
+  v.pkt_type = type;
+  std::size_t lsa_count = 0;
+  const std::uint8_t* headers = nullptr;  // dense LSA header array, if any
+
+  switch (type) {
+    case 1:  // Hello: 20-byte fixed part + 4-byte neighbor entries
+      if (blen < 20 || (blen - 20) % 4 != 0) return false;
+      break;
+    case 2: {  // DBD: 8-byte fixed part + LSA header list
+      if (blen < 8 || (blen - 8) % kLsaHdr != 0) return false;
+      v.dbd_flags = body[3];
+      headers = body + 8;
+      lsa_count = (blen - 8) / kLsaHdr;
+      break;
+    }
+    case 3:  // LSR: 12-byte request entries
+      if (blen % 12 != 0) return false;
+      for (std::size_t off = 0; off < blen; off += 12) {
+        const std::uint32_t t = be32(body + off);
+        if (t < 1 || t > 5) return false;
+      }
+      break;
+    case 4: {  // LSU: count + variable-length LSAs
+      if (blen < 4) return false;
+      const std::uint32_t n = be32(body);
+      std::size_t off = 4;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (blen - off < kLsaHdr) return false;
+        const std::uint8_t* h = body + off;
+        const std::uint8_t t = h[3];
+        if (t < 1 || t > 5) return false;
+        const std::size_t lsa_len = be16(h + 18);
+        if (lsa_len < kLsaHdr || lsa_len > blen - off) return false;
+        // §13 step 1: Fletcher over the LSA minus the LS age field.
+        if (!fletcher_checksum_ok({h + 2, lsa_len - 2})) return false;
+        off += lsa_len;
+      }
+      if (off != blen) return false;
+      lsa_count = n;
+      break;
+    }
+    case 5:  // LSAck: dense LSA header list
+      if (blen % kLsaHdr != 0) return false;
+      headers = body;
+      lsa_count = blen / kLsaHdr;
+      break;
+  }
+
+  if (headers != nullptr) {
+    for (std::size_t i = 0; i < lsa_count; ++i) {
+      const std::uint8_t t = headers[i * kLsaHdr + 3];
+      if (t < 1 || t > 5) return false;
+    }
+  }
+
+  if (lsa_count > 0) {
+    auto* slab = arena_->allocate_array<OspfDigest::LsaDigest>(lsa_count);
+    if (headers != nullptr) {  // dense 20-byte headers (DBD, LSAck)
+      for (std::size_t i = 0; i < lsa_count; ++i)
+        slab[i] = lsa_digest_from_header(headers + i * kLsaHdr);
+    } else {  // LSU: stride by each LSA's length field
+      std::size_t off = 4;
+      for (std::size_t i = 0; i < lsa_count; ++i) {
+        const std::uint8_t* h = body + off;
+        slab[i] = lsa_digest_from_header(h);
+        off += be16(h + 18);
+      }
+    }
+    v.lsas = {slab, lsa_count};
+  }
+
+  digest_ref_.push_back((kDigestOspf << kDigestKindShift) |
+                        static_cast<std::uint32_t>(ospf_pool_.size()));
+  ospf_pool_.push_back(v);
+  return true;
+}
+
+// Validation-equivalent to rip::decode (which the simulator's RIP frames
+// always pass): header size, 20-byte entry grid, command/version ranges,
+// per-entry metric range (AFI-0 entries exempt), 25-entry cap.
+bool TraceLog::fast_rip_digest(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4) return false;
+  if ((wire.size() - 4) % 20 != 0) return false;
+  const std::uint8_t* p = wire.data();
+  const std::uint8_t cmd = p[0];
+  if (cmd != 1 && cmd != 2) return false;
+  const std::uint8_t version = p[1];
+  if (version != 1 && version != rip::kRipVersion) return false;
+  const std::size_t entries = (wire.size() - 4) / 20;
+  if (entries > 25) return false;
+
+  RipDigest d;
+  d.command = cmd;
+  d.entry_count = static_cast<std::uint16_t>(entries);
+  std::uint16_t first_afi = 0xffff;
+  std::uint32_t first_metric = 0;
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::uint8_t* e = p + 4 + i * 20;
+    const std::uint16_t afi = be16(e);
+    const std::uint32_t metric = be32(e + 16);
+    if ((metric < 1 || metric > rip::kInfinityMetric) && afi != 0)
+      return false;
+    if (i == 0) {
+      first_afi = afi;
+      first_metric = metric;
+    }
+    d.max_metric = std::max(d.max_metric, metric);
+  }
+  d.full_table_request = cmd == 1 && entries == 1 && first_afi == 0 &&
+                         first_metric == rip::kInfinityMetric;
+
+  digest_ref_.push_back((kDigestRip << kDigestKindShift) |
+                        static_cast<std::uint32_t>(rip_pool_.size()));
+  rip_pool_.push_back(d);
+  return true;
+}
+
+void TraceLog::on_tap(const netsim::TapEvent& ev) {
+  const netsim::Frame& frame = *ev.frame;
+  const int state = prober_ ? prober_(ev.node) : -1;
+  // Sharing, not copying: the bytes column holds another reference to the
+  // frame's payload cell.
+  push_common(ev.time, ev.node, ev.iface, ev.direction, frame.src, frame.dst,
+              frame.protocol, frame.id, frame.caused_by, state,
+              keep_bytes_ ? frame.payload.retain() : nullptr);
+  // Digest straight into the pools with the header-only fast parsers;
+  // frames the full decoders would reject get no digest, exactly as
+  // before. BGP stays on the full decoder: TCP streams are low-volume and
+  // the UPDATE digest needs parsed path attributes.
+  if (frame.protocol == ospf::kIpProtoOspf) {
+    if (fast_ospf_digest(frame.payload)) return;
+  } else if (frame.protocol == 17) {
+    if (fast_rip_digest(frame.payload)) return;
+  } else if (frame.protocol == 6) {
+    auto decoded = bgp::decode(frame.payload);
+    if (decoded.ok()) {
+      const auto& msg = decoded.value();
+      BgpDigest d;
+      d.msg_type = static_cast<std::uint8_t>(msg.type());
+      if (const auto* update = std::get_if<bgp::UpdateMessage>(&msg.body)) {
+        d.as_path_len = static_cast<std::uint32_t>(update->as_path.size());
+        d.nlri_count = static_cast<std::uint16_t>(update->nlri.size());
+        d.withdrawn_count =
+            static_cast<std::uint16_t>(update->withdrawn.size());
+      } else if (const auto* notif =
+                     std::get_if<bgp::NotificationMessage>(&msg.body)) {
+        d.error_code = notif->error_code;
+      }
+      digest_ref_.push_back((kDigestBgp << kDigestKindShift) |
+                            static_cast<std::uint32_t>(bgp_pool_.size()));
+      bgp_pool_.push_back(d);
+      return;
+    }
+  }
+  digest_ref_.push_back(kDigestNone);
+}
+
+RecordView TraceLog::view(std::size_t i) const {
+  RecordView v;
+  v.time = time_[i];
+  v.node = node_[i];
+  v.iface = iface_[i];
+  v.direction =
+      send_[i] ? netsim::Direction::kSend : netsim::Direction::kRecv;
+  v.src = Ipv4Addr{src_[i]};
+  v.dst = Ipv4Addr{dst_[i]};
+  v.protocol = protocol_[i];
+  v.frame_id = frame_id_[i];
+  v.caused_by = caused_by_[i];
+  v.observer_state = observer_state_[i];
+  v.bytes = util::SharedBytes::from_handle(bytes_[i]);
+  const std::uint32_t ref = digest_ref_[i];
+  const std::uint32_t idx = ref & kDigestIndexMask;
+  switch (ref >> kDigestKindShift) {
+    case kDigestOspf: v.ospf_ = &ospf_pool_[idx]; break;
+    case kDigestRip: v.rip_ = &rip_pool_[idx]; break;
+    case kDigestBgp: v.bgp_ = &bgp_pool_[idx]; break;
+    default: break;
+  }
+  return v;
+}
+
+std::span<const std::uint32_t> TraceLog::node_records(
     netsim::NodeId node) const {
-  static const std::vector<std::size_t> kEmpty;
-  return node < by_node_.size() ? by_node_[node] : kEmpty;
+  return node < by_node_.size() ? by_node_[node].span()
+                                : std::span<const std::uint32_t>{};
 }
 
 std::size_t TraceLog::observed_nodes() const {
@@ -105,36 +507,70 @@ std::size_t TraceLog::observed_nodes() const {
   return n;
 }
 
+void TraceLog::clear() {
+  release_bytes();
+  time_.clear();
+  node_.clear();
+  iface_.clear();
+  send_.clear();
+  src_.clear();
+  dst_.clear();
+  protocol_.clear();
+  frame_id_.clear();
+  caused_by_.clear();
+  observer_state_.clear();
+  digest_ref_.clear();
+  bytes_.clear();
+  ospf_pool_.clear();
+  rip_pool_.clear();
+  bgp_pool_.clear();
+  by_node_.clear();
+  // One reset releases every column, pool, slab and index at once; the
+  // chunks stay with the arena, so refilling reuses the same pages.
+  arena_->reset();
+}
+
 void TraceLog::dump(std::ostream& os, const netsim::Network& net) const {
-  for (const auto& r : records_) {
-    os << format_time(r.time) << ' ' << net.node_name(r.node) << " if"
-       << r.iface << (r.is_send() ? " SEND " : " RECV ")
-       << r.src.to_string() << " -> " << r.dst.to_string();
-    if (const auto* o = r.ospf()) {
-      os << " OSPF type=" << int(o->pkt_type) << " lsas=" << o->lsas.size();
-    } else if (const auto* p = r.rip()) {
-      os << " RIP cmd=" << int(p->command) << " entries=" << p->entry_count;
-    } else {
-      os << " proto=" << int(r.protocol) << " (" << r.bytes.size()
-         << " bytes)";
+  for (std::size_t i = 0; i < size(); ++i) {
+    os << format_time(time_[i]) << ' ' << net.node_name(node_[i]) << " if"
+       << iface_[i] << (send_[i] ? " SEND " : " RECV ")
+       << Ipv4Addr{src_[i]}.to_string() << " -> "
+       << Ipv4Addr{dst_[i]}.to_string();
+    const std::uint32_t ref = digest_ref_[i];
+    const std::uint32_t idx = ref & kDigestIndexMask;
+    switch (ref >> kDigestKindShift) {
+      case kDigestOspf: {
+        const OspfView& o = ospf_pool_[idx];
+        os << " OSPF type=" << int(o.pkt_type) << " lsas=" << o.lsas.size();
+        break;
+      }
+      case kDigestRip: {
+        const RipDigest& r = rip_pool_[idx];
+        os << " RIP cmd=" << int(r.command) << " entries=" << r.entry_count;
+        break;
+      }
+      default:
+        os << " proto=" << int(protocol_[i]) << " ("
+           << util::SharedBytes::handle_span(bytes_[i]).size() << " bytes)";
     }
-    if (r.caused_by != 0) os << " caused_by=#" << r.caused_by;
-    os << " frame=#" << r.frame_id << '\n';
+    if (caused_by_[i] != 0) os << " caused_by=#" << caused_by_[i];
+    os << " frame=#" << frame_id_[i] << '\n';
   }
 }
 
 void TraceLog::save(std::ostream& os) const {
-  os << "nidkit-trace v1 " << records_.size() << '\n';
-  for (const auto& r : records_) {
-    os << r.time.count() << ' ' << r.node << ' ' << r.iface << ' '
-       << (r.is_send() ? 'S' : 'R') << ' ' << r.src.value() << ' '
-       << r.dst.value() << ' ' << int(r.protocol) << ' ' << r.frame_id << ' '
-       << r.caused_by << ' ' << r.observer_state << ' ';
+  os << "nidkit-trace v1 " << size() << '\n';
+  for (std::size_t i = 0; i < size(); ++i) {
+    os << time_[i].count() << ' ' << node_[i] << ' ' << iface_[i] << ' '
+       << (send_[i] ? 'S' : 'R') << ' ' << src_[i] << ' ' << dst_[i] << ' '
+       << int(protocol_[i]) << ' ' << frame_id_[i] << ' ' << caused_by_[i]
+       << ' ' << observer_state_[i] << ' ';
     static constexpr char kHexDigits[] = "0123456789abcdef";
-    if (r.bytes.empty()) {
+    const auto bytes = util::SharedBytes::handle_span(bytes_[i]);
+    if (bytes.empty()) {
       os << '-';
     } else {
-      for (const auto b : r.bytes) {
+      for (const auto b : bytes) {
         os << kHexDigits[b >> 4] << kHexDigits[b & 0xf];
       }
     }
@@ -187,6 +623,8 @@ Result<TraceLog> TraceLog::load(std::istream& is) {
         bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
       }
       r.bytes = util::SharedBytes(bytes);
+      // Imported bytes re-digest through the full wire codecs: external
+      // traces may carry malformations only the full decoders reject.
       netsim::Frame reparse;
       reparse.protocol = r.protocol;
       reparse.payload = r.bytes;

@@ -5,19 +5,33 @@
 // parsed protocol digest so the miner never re-decodes. An optional state
 // prober snapshots router-internal state (e.g. the OSPF neighbor FSM state)
 // at each event, powering the future-work state-conditioned mining.
+//
+// Storage is columnar (SoA): each fixed-width record field lives in its own
+// flat column, protocol digests live in per-protocol pools (OSPF digests
+// with their LSA header lists laid out in arena slabs), and every column is
+// backed by one per-scenario monotonic util::Arena. Appending a record on
+// the tap path is a handful of bump-pointer pushes — no 100+-byte struct
+// construction, no per-record allocation — and scenario teardown is one
+// arena release, with the pages recycled into the next scenario's log.
+// Consumers read through RecordView (a cheap per-record materialization) or
+// straight from the column spans; the miner does the latter.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <istream>
+#include <iterator>
+#include <memory>
 #include <ostream>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
 
-#include <istream>
-
 #include "netsim/network.hpp"
 #include "packet/ospf_types.hpp"
+#include "util/arena.hpp"
+#include "util/arena_vec.hpp"
 #include "util/ip.hpp"
 #include "util/result.hpp"
 #include "util/shared_bytes.hpp"
@@ -67,7 +81,9 @@ struct BgpDigest {
 using Digest =
     std::variant<std::monostate, OspfDigest, RipDigest, BgpDigest>;
 
-/// One captured packet event.
+/// One captured packet event, as a standalone value. This remains the
+/// import/test-facing write format: TraceLog::append(PacketRecord)
+/// decomposes it into columns. Log reads go through RecordView.
 struct PacketRecord {
   SimTime time{0};
   netsim::NodeId node = 0;
@@ -90,10 +106,77 @@ struct PacketRecord {
   const BgpDigest* bgp() const { return std::get_if<BgpDigest>(&digest); }
 };
 
+/// OSPF digest as stored in the log's pool: same fields as OspfDigest but
+/// the LSA headers are a span into an arena slab instead of a SmallVec.
+struct OspfView {
+  std::uint8_t pkt_type = 0;
+  std::uint8_t dbd_flags = 0;
+  std::span<const OspfDigest::LsaDigest> lsas;
+
+  /// Greatest LS sequence number carried, or INT32_MIN if none.
+  std::int32_t max_seq() const;
+};
+
+/// A materialized read of one trace record. Scalars are copied out of the
+/// columns; `bytes` shares the stored payload cell; the digest accessors
+/// return pointers into the log's digest pools, which stay valid for the
+/// life of the log (a view converted from a free-standing PacketRecord
+/// instead carries the digest inline and must not outlive the record).
+class RecordView {
+ public:
+  SimTime time{0};
+  netsim::NodeId node = 0;
+  netsim::IfaceIndex iface = 0;
+  netsim::Direction direction = netsim::Direction::kSend;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint8_t protocol = 0;
+  std::uint64_t frame_id = 0;
+  std::uint64_t caused_by = 0;
+  int observer_state = -1;
+  util::SharedBytes bytes;
+
+  RecordView() = default;
+  /// Implicit: keying schemes take RecordView, tests hand them
+  /// PacketRecords. The view borrows the record's digest storage (and for
+  /// OSPF spans its SmallVec), so the record must outlive the view.
+  RecordView(const PacketRecord& rec);  // NOLINT: implicit
+
+  RecordView(const RecordView& other) { *this = other; }
+  RecordView(RecordView&& other) noexcept { *this = other; }
+  RecordView& operator=(const RecordView& other);
+  RecordView& operator=(RecordView&& other) noexcept {
+    return *this = static_cast<const RecordView&>(other);
+  }
+
+  bool is_send() const { return direction == netsim::Direction::kSend; }
+  const OspfView* ospf() const { return ospf_; }
+  const RipDigest* rip() const { return rip_; }
+  const BgpDigest* bgp() const { return bgp_; }
+
+ private:
+  friend class TraceLog;
+  const OspfView* ospf_ = nullptr;
+  const RipDigest* rip_ = nullptr;
+  const BgpDigest* bgp_ = nullptr;
+  /// Inline digest storage for views converted from a PacketRecord; pool-
+  /// backed views leave these untouched and point into the log instead.
+  OspfView ospf_store_;
+  RipDigest rip_store_;
+  BgpDigest bgp_store_;
+};
+
 class TraceLog {
  public:
   /// Snapshot of router-internal state for a node, as an opaque label.
   using StateProber = std::function<int(netsim::NodeId)>;
+
+  TraceLog();
+  ~TraceLog();
+  TraceLog(TraceLog&& other) noexcept;
+  TraceLog& operator=(TraceLog&& other) noexcept;
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
 
   /// Installs this log as `net`'s tap. The log must outlive the network's
   /// use of the tap.
@@ -105,27 +188,85 @@ class TraceLog {
   /// memory in long sweeps — digests are always kept).
   void set_keep_bytes(bool keep) { keep_bytes_ = keep; }
 
-  /// Appends a record directly (used when importing externally captured
-  /// traces, and by tests that need precise control over timing).
-  /// Records must be appended in non-decreasing time order.
-  void append(PacketRecord record) {
-    index_record(record.node, records_.size());
-    records_.push_back(std::move(record));
-  }
+  /// Appends a record (used when importing externally captured traces, and
+  /// by tests that need precise control over timing). This is the only
+  /// write path besides the tap itself: the record is decomposed into the
+  /// columns here. Records must be appended in non-decreasing time order.
+  void append(PacketRecord record);
 
-  const std::vector<PacketRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
+  /// Materializes record `i`. Digest pointers in the view stay valid until
+  /// the log is cleared or destroyed (they target the log's pools).
+  RecordView view(std::size_t i) const;
+
+  /// Record-like read access over the columns: `records()[i]`, iteration,
+  /// `front()`. Yields RecordView by value.
+  class RecordsRange {
+   public:
+    class iterator {
+     public:
+      using value_type = RecordView;
+      using difference_type = std::ptrdiff_t;
+      using iterator_category = std::input_iterator_tag;
+
+      iterator() = default;
+      iterator(const TraceLog* log, std::size_t i) : log_(log), i_(i) {}
+      RecordView operator*() const { return log_->view(i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator out = *this;
+        ++i_;
+        return out;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.i_ == b.i_;
+      }
+
+     private:
+      const TraceLog* log_ = nullptr;
+      std::size_t i_ = 0;
+    };
+
+    explicit RecordsRange(const TraceLog* log) : log_(log) {}
+    std::size_t size() const { return log_->size(); }
+    bool empty() const { return log_->size() == 0; }
+    RecordView operator[](std::size_t i) const { return log_->view(i); }
+    RecordView front() const { return log_->view(0); }
+    RecordView back() const { return log_->view(log_->size() - 1); }
+    iterator begin() const { return {log_, 0}; }
+    iterator end() const { return {log_, log_->size()}; }
+
+   private:
+    const TraceLog* log_;
+  };
+
+  RecordsRange records() const { return RecordsRange{this}; }
+  std::size_t size() const { return time_.size(); }
 
   /// Indices of records observed at `node`, in time order. Maintained as
   /// records arrive, so reads are O(1) — the miner's per-node grouping
   /// comes straight from here instead of rebuilding a map per call.
-  const std::vector<std::size_t>& node_records(netsim::NodeId node) const;
+  std::span<const std::uint32_t> node_records(netsim::NodeId node) const;
 
   /// Largest observed node id + 1 (the per-node index's extent).
   std::size_t node_index_extent() const { return by_node_.size(); }
 
   /// Number of distinct nodes that observed at least one packet.
   std::size_t observed_nodes() const;
+
+  // Raw column access for hot consumers (the miner walks these instead of
+  // materializing views). All spans share indexing with node_records().
+  std::span<const SimTime> times() const { return time_.span(); }
+  std::span<const netsim::NodeId> nodes() const { return node_.span(); }
+  std::span<const std::uint8_t> send_flags() const { return send_.span(); }
+  std::span<const std::uint64_t> frame_ids() const {
+    return frame_id_.span();
+  }
+  std::span<const std::uint64_t> caused_by_ids() const {
+    return caused_by_.span();
+  }
 
   /// Human-readable dump, one line per record.
   void dump(std::ostream& os, const netsim::Network& net) const;
@@ -140,21 +281,66 @@ class TraceLog {
   /// the wire codecs, so a trace saved by a newer build is re-validated.
   static Result<TraceLog> load(std::istream& is);
 
-  void clear() {
-    records_.clear();
-    by_node_.clear();
-  }
+  /// Forgets every record and rewinds the arena; the log is immediately
+  /// reusable and refills into the pages it already owns.
+  void clear();
+
+  /// Bytes the backing arena has handed out (diagnostics/bench).
+  std::size_t arena_bytes() const { return arena_->bytes_allocated(); }
 
  private:
-  void on_tap(const netsim::TapEvent& ev);
-  void index_record(netsim::NodeId node, std::size_t index) {
-    if (node >= by_node_.size()) by_node_.resize(node + 1);
-    by_node_[node].push_back(index);
-  }
+  enum DigestKind : std::uint32_t {
+    kDigestNone = 0,
+    kDigestOspf = 1,
+    kDigestRip = 2,
+    kDigestBgp = 3,
+  };
 
-  std::vector<PacketRecord> records_;
+  void on_tap(const netsim::TapEvent& ev);
+  /// Pushes every fixed-width column for one record except the digest ref
+  /// (the caller pushes that last, once the digest is pooled).
+  void push_common(SimTime time, netsim::NodeId node,
+                   netsim::IfaceIndex iface, netsim::Direction direction,
+                   Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                   std::uint64_t frame_id, std::uint64_t caused_by,
+                   int observer_state, util::SharedBytes::Handle bytes);
+  /// Digests an OSPF frame straight into the pools with a header-only fast
+  /// parser (validation-equivalent to ospf::decode for simulator-encoded
+  /// frames). Returns false if the frame does not validate.
+  bool fast_ospf_digest(std::span<const std::uint8_t> wire);
+  /// Same for RIP (proto 17). Returns false if the frame does not validate.
+  bool fast_rip_digest(std::span<const std::uint8_t> wire);
+  /// Copies a decoded digest into the pools and pushes the digest ref.
+  void push_digest(const Digest& digest);
+  void index_record(netsim::NodeId node, std::size_t index);
+  void release_bytes() noexcept;
+
+  /// Arena behind every column and pool. unique_ptr keeps the arena's
+  /// address stable across TraceLog moves (columns never re-point).
+  std::unique_ptr<util::Arena> arena_;
+  // One column per fixed-width record field.
+  util::ArenaVec<SimTime> time_;
+  util::ArenaVec<netsim::NodeId> node_;
+  util::ArenaVec<netsim::IfaceIndex> iface_;
+  util::ArenaVec<std::uint8_t> send_;  ///< 1 = send, 0 = recv
+  util::ArenaVec<std::uint32_t> src_;
+  util::ArenaVec<std::uint32_t> dst_;
+  util::ArenaVec<std::uint8_t> protocol_;
+  util::ArenaVec<std::uint64_t> frame_id_;
+  util::ArenaVec<std::uint64_t> caused_by_;
+  util::ArenaVec<int> observer_state_;
+  /// kind << 30 | pool index (see DigestKind).
+  util::ArenaVec<std::uint32_t> digest_ref_;
+  /// Retained SharedBytes handles (null = no bytes kept). Released
+  /// explicitly in clear()/destructor — arena memory runs no destructors.
+  util::ArenaVec<util::SharedBytes::Handle> bytes_;
+  // Per-protocol digest pools; LSA header lists live in arena slabs
+  // referenced by OspfView::lsas.
+  util::ArenaVec<OspfView> ospf_pool_;
+  util::ArenaVec<RipDigest> rip_pool_;
+  util::ArenaVec<BgpDigest> bgp_pool_;
   /// Per-node record indices in time order (node ids are dense).
-  std::vector<std::vector<std::size_t>> by_node_;
+  util::ArenaVec<util::ArenaVec<std::uint32_t>> by_node_;
   StateProber prober_;
   bool keep_bytes_ = true;
 };

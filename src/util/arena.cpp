@@ -1,0 +1,159 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace nidkit::util {
+
+namespace {
+
+// Chunk sizing: start small so a two-packet unit-test trace costs 64 KiB,
+// grow geometrically so a million-record trace costs ~30 chunk refills
+// (the refill allocations are what the bench's allocs/event figure
+// amortises), cap so the pool recycles reasonably sized pieces.
+constexpr std::size_t kMinChunkPayload = 64 * 1024;
+constexpr std::size_t kMaxChunkPayload = 8 * 1024 * 1024;
+// The pool retains at most this many payload bytes across all parked
+// chunks; beyond it, dying arenas free to the OS.
+constexpr std::size_t kMaxPooledBytes = 64 * 1024 * 1024;
+
+struct Pool {
+  std::mutex mu;
+  void* head = nullptr;  // Chunk* chain, reusing the Chunk::next field
+  std::size_t bytes = 0;
+  std::size_t chunks = 0;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  // Park chunks for the next scenario; anything over the pool budget goes
+  // back to the OS.
+  auto park = [](Chunk* c) {
+    while (c != nullptr) {
+      Chunk* next = c->next;
+      bool pooled = false;
+      {
+        Pool& p = pool();
+        std::lock_guard lock(p.mu);
+        if (p.bytes + c->size <= kMaxPooledBytes) {
+          c->next = static_cast<Chunk*>(p.head);
+          p.head = c;
+          p.bytes += c->size;
+          ++p.chunks;
+          pooled = true;
+        }
+      }
+      if (!pooled) ::operator delete(c);
+      c = next;
+    }
+  };
+  park(head_);
+  park(reserve_);
+}
+
+void Arena::reset() noexcept {
+  // Every owned chunk becomes reusable; nothing leaves this arena, so a
+  // cleared TraceLog refills into memory it already touched.
+  while (head_ != nullptr) {
+    Chunk* next = head_->next;
+    head_->next = reserve_;
+    reserve_ = head_;
+    head_ = next;
+  }
+  cursor_ = 0;
+  limit_ = 0;
+  bytes_allocated_ = 0;
+}
+
+void* Arena::allocate_slow(std::size_t size, std::size_t align) {
+  // Next chunk must fit the request plus worst-case alignment slack.
+  const std::size_t need = size + align;
+  Chunk* c = nullptr;
+
+  // Reuse a parked chunk of this arena first (reset() path).
+  Chunk** prev = &reserve_;
+  for (Chunk* r = reserve_; r != nullptr; prev = &r->next, r = r->next) {
+    if (r->size >= need) {
+      *prev = r->next;
+      c = r;
+      break;
+    }
+  }
+
+  if (c == nullptr) {
+    // Then a pooled chunk from a previous scenario.
+    Pool& p = pool();
+    std::lock_guard lock(p.mu);
+    Chunk** pp = reinterpret_cast<Chunk**>(&p.head);
+    for (Chunk* r = static_cast<Chunk*>(p.head); r != nullptr;
+         pp = &r->next, r = r->next) {
+      if (r->size >= need) {
+        *pp = r->next;
+        p.bytes -= r->size;
+        --p.chunks;
+        c = r;
+        break;
+      }
+    }
+  }
+
+  if (c == nullptr) {
+    next_chunk_size_ = std::min(
+        kMaxChunkPayload, std::max(next_chunk_size_ * 2, kMinChunkPayload));
+    // A single oversize request (one huge column grow) gets a chunk sized
+    // for it without disturbing the geometric schedule for normal chunks.
+    const std::size_t payload = std::max(next_chunk_size_, need);
+    void* raw = ::operator new(sizeof(Chunk) + payload);
+    c = ::new (raw) Chunk{};
+    c->size = payload;
+  } else {
+    next_chunk_size_ =
+        std::max(next_chunk_size_, std::min(c->size, kMaxChunkPayload));
+  }
+
+  c->next = head_;
+  head_ = c;
+  cursor_ = c->begin();
+  limit_ = cursor_ + c->size;
+
+  std::uintptr_t aligned =
+      (cursor_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+  cursor_ = aligned + size;
+  bytes_allocated_ += size;
+  return reinterpret_cast<void*>(aligned);
+}
+
+std::size_t Arena::chunk_count() const noexcept {
+  std::size_t n = 0;
+  for (Chunk* c = head_; c != nullptr; c = c->next) ++n;
+  for (Chunk* c = reserve_; c != nullptr; c = c->next) ++n;
+  return n;
+}
+
+std::size_t Arena::pool_chunks() noexcept {
+  Pool& p = pool();
+  std::lock_guard lock(p.mu);
+  return p.chunks;
+}
+
+void Arena::trim_pool() noexcept {
+  Pool& p = pool();
+  std::lock_guard lock(p.mu);
+  Chunk* c = static_cast<Chunk*>(p.head);
+  while (c != nullptr) {
+    Chunk* next = c->next;
+    ::operator delete(c);
+    c = next;
+  }
+  p.head = nullptr;
+  p.bytes = 0;
+  p.chunks = 0;
+}
+
+}  // namespace nidkit::util

@@ -1,0 +1,94 @@
+// Per-scenario monotonic arena.
+//
+// A traced scenario appends hundreds of thousands of fixed-width trace
+// events and tears the whole lot down at once when the ScenarioResult dies.
+// That lifetime is exactly what a bump allocator wants: allocation is a
+// pointer increment into the current chunk, there is no per-object free,
+// and teardown releases chunks wholesale. Chunks are recycled through a
+// process-wide pool, so the thousands of scenarios in a sweep reuse the
+// same pages instead of asking the OS again — a fresh arena's first
+// allocations land in still-warm memory from the previous scenario.
+//
+// Restrictions, by design:
+//   * no deallocate: reset() rewinds everything at once;
+//   * single-threaded: one arena per TraceLog, one TraceLog per scenario,
+//     scenarios never share arenas across workers (the pool itself is
+//     mutex-guarded);
+//   * objects placed in the arena must be trivially destructible — nothing
+//     runs destructors for them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace nidkit::util {
+
+class Arena {
+ public:
+  Arena() noexcept = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = delete;
+  Arena& operator=(Arena&&) = delete;
+
+  /// Bump-allocates `size` bytes aligned to `align` (a power of two).
+  /// Never returns nullptr; chunk refill throws std::bad_alloc on OOM like
+  /// any other allocator.
+  void* allocate(std::size_t size, std::size_t align) {
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+    if (p + size > limit_) [[unlikely]] {
+      return allocate_slow(size, align);
+    }
+    cursor_ = p + size;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Uninitialized storage for `n` elements of trivially destructible T.
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every allocation. Chunks stay attached to this arena, so a
+  /// cleared-and-refilled TraceLog reuses its own memory without touching
+  /// the pool.
+  void reset() noexcept;
+
+  /// Total bytes handed out since construction/reset (diagnostics).
+  std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+  /// Number of chunks currently owned by this arena (diagnostics).
+  std::size_t chunk_count() const noexcept;
+
+  /// Chunks cached process-wide for reuse (test/diagnostic hook).
+  static std::size_t pool_chunks() noexcept;
+  /// Drops every pooled chunk back to the OS (test hook; e.g. before a
+  /// leak-checked section).
+  static void trim_pool() noexcept;
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+    std::size_t size = 0;  ///< usable payload bytes following this header
+    std::uintptr_t begin() noexcept {
+      return reinterpret_cast<std::uintptr_t>(this + 1);
+    }
+  };
+
+  void* allocate_slow(std::size_t size, std::size_t align);
+
+  Chunk* head_ = nullptr;     ///< chunk currently being bumped
+  Chunk* reserve_ = nullptr;  ///< chunks kept across reset() for reuse
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_chunk_size_ = 0;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace nidkit::util

@@ -1,0 +1,123 @@
+// Arena-backed growable array.
+//
+// The columnar TraceLog stores each record field in its own flat column;
+// ArenaVec is those columns. It is a std::vector with the ownership moved
+// into a util::Arena: growth carves a bigger block out of the arena and
+// memcpy-relocates, and nothing is ever freed individually — the arena's
+// reset releases every column at once. Restricted to trivially destructible
+// (and memcpy-relocatable) element types; there is deliberately no
+// destructor, which also makes ArenaVec itself trivially destructible so
+// columns can nest (the per-node index is an ArenaVec of ArenaVecs).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <span>
+#include <type_traits>
+
+#include "util/arena.hpp"
+
+namespace nidkit::util {
+
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena memory never runs destructors");
+
+ public:
+  ArenaVec() noexcept = default;
+  explicit ArenaVec(Arena* arena) noexcept : arena_(arena) {}
+
+  ArenaVec(const ArenaVec&) = delete;
+  ArenaVec& operator=(const ArenaVec&) = delete;
+  ArenaVec(ArenaVec&& other) noexcept
+      : arena_(other.arena_),
+        data_(other.data_),
+        size_(other.size_),
+        capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  ArenaVec& operator=(ArenaVec&& other) noexcept {
+    arena_ = other.arena_;
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    return *this;
+  }
+  // No destructor: the arena owns the storage.
+
+  void set_arena(Arena* arena) noexcept { arena_ = arena; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) [[unlikely]] grow(size_ + 1);
+    ::new (static_cast<void*>(data_ + size_)) T(value);
+    ++size_;
+  }
+  void push_back(T&& value) {
+    if (size_ == capacity_) [[unlikely]] grow(size_ + 1);
+    ::new (static_cast<void*>(data_ + size_)) T(static_cast<T&&>(value));
+    ++size_;
+  }
+  /// Appends default-constructed elements until size() == n.
+  void resize(std::size_t n) {
+    if (n > capacity_) grow(n);
+    for (std::size_t i = size_; i < n; ++i)
+      ::new (static_cast<void*>(data_ + i)) T{};
+    size_ = n;
+  }
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+  /// Forgets the contents (the arena still holds the old block until its
+  /// own reset; callers that clear columns reset the arena too).
+  void clear() noexcept {
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+
+ private:
+  void grow(std::size_t min_cap) {
+    std::size_t cap = capacity_ < 8 ? 8 : capacity_ * 2;
+    if (cap < min_cap) cap = min_cap;
+    T* fresh = arena_->allocate_array<T>(cap);
+    // Element relocation is memcpy: T is trivially destructible and none
+    // of the stored types point into their own footprint. The void* casts
+    // acknowledge that for non-trivially-copyable T (nested ArenaVec).
+    if (size_ > 0)
+      std::memcpy(static_cast<void*>(fresh), static_cast<const void*>(data_),
+                  size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace nidkit::util

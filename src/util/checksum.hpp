@@ -22,6 +22,15 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
 /// already contains its checksum field folds to zero.
 bool internet_checksum_ok(std::span<const std::uint8_t> data);
 
+/// Internet checksum of the logical concatenation `head ++ tail` without
+/// materializing it. `head.size()` must be even so `tail` starts on a
+/// 16-bit word boundary. Used by the trace tap's OSPF digest parser to
+/// verify the header checksum with the 8-byte authentication field
+/// excluded (zeros contribute nothing to a one's-complement sum, so
+/// summing around the hole equals summing a zero-filled copy).
+std::uint16_t internet_checksum2(std::span<const std::uint8_t> head,
+                                 std::span<const std::uint8_t> tail);
+
 /// ISO/Fletcher checksum as used for OSPF LSAs (RFC 2328 §12.1.7).
 ///
 /// `lsa` is the complete LSA *excluding the 2-byte LS age field* (i.e.

@@ -79,6 +79,35 @@ class SharedBytes {
     return ctrl_ ? ctrl_->refs.load(std::memory_order_relaxed) : 0;
   }
 
+  /// Opaque retained-handle API for columnar containers (the trace log's
+  /// bytes column) that store many buffers as raw words in arena memory,
+  /// where no destructor will ever run. `retain()` returns the buffer's
+  /// cell with its refcount bumped (nullptr for the empty buffer); the
+  /// holder must eventually pass it to `release_handle`. `from_handle`
+  /// mints a new owner from a live handle; `handle_span` borrows the bytes
+  /// without touching the refcount.
+  using Handle = void*;
+  Handle retain() const noexcept {
+    if (ctrl_) ctrl_->refs.fetch_add(1, std::memory_order_relaxed);
+    return ctrl_;
+  }
+  static void release_handle(Handle h) noexcept {
+    SharedBytes tmp;
+    tmp.ctrl_ = static_cast<Ctrl*>(h);
+    // tmp's destructor performs the matched release.
+  }
+  static SharedBytes from_handle(Handle h) noexcept {
+    SharedBytes out;
+    out.ctrl_ = static_cast<Ctrl*>(h);
+    if (out.ctrl_) out.ctrl_->refs.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+  static std::span<const std::uint8_t> handle_span(Handle h) noexcept {
+    Ctrl* c = static_cast<Ctrl*>(h);
+    return c ? std::span<const std::uint8_t>{c->bytes(), c->size}
+             : std::span<const std::uint8_t>{};
+  }
+
   friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
     if (a.ctrl_ == b.ctrl_) return true;
     return a.size() == b.size() &&

@@ -111,7 +111,7 @@ TEST(MinerProperty, TieReorderingDoesNotChangeTheRelationSet) {
       tb.add(0, Direction::kRecv, SimTime{2s}, 5);
     }
     tb.add(0, Direction::kRecv, SimTime{3s}, 2);  // later: never attributed
-    return tb.log;
+    return std::move(tb.log);
   };
   CausalMiner miner(config_900ms());
   const auto a = miner.mine(build(false), ospf_type_scheme());
@@ -147,7 +147,7 @@ TEST(MinerProperty, RandomTieShufflesAreInvariant) {
       tb.add(0, Direction::kSend, SimTime{200ms}, 3);
       for (const auto idx : order)
         tb.add(0, Direction::kRecv, SimTime{2500ms}, clump[idx]);
-      return tb.log;
+      return std::move(tb.log);
     };
 
     std::vector<std::size_t> order(clump.size());

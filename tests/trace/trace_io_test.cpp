@@ -108,9 +108,12 @@ TEST(TraceIo, NodeIndexRebuiltOnLoad) {
   ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded.value().node_index_extent(),
             original.node_index_extent());
-  for (netsim::NodeId n = 0; n < original.node_index_extent(); ++n)
-    EXPECT_EQ(loaded.value().node_records(n), original.node_records(n))
+  for (netsim::NodeId n = 0; n < original.node_index_extent(); ++n) {
+    const auto got = loaded.value().node_records(n);
+    const auto want = original.node_records(n);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
         << "node " << n;
+  }
   EXPECT_EQ(loaded.value().observed_nodes(), original.observed_nodes());
 }
 
