@@ -13,6 +13,9 @@
 //                   8-node LAN per tick — the LAN fan-out delivery path.
 //   traced_fanout   frame_fanout with a TraceLog attached — what an audit
 //                   scenario actually runs.
+//   spf_probe       memoized routing-table probes against an unchanged
+//                   LSDB (RouteCache::get hits) — the steady-state cost of
+//                   the route-consistency and convergence sampling probes.
 //   audit           wall-clock of the paper's default `nidt audit`
 //                   workload at --jobs 1 (measured in both modes; --short
 //                   takes the best of several repeats so CI can gate it).
@@ -35,6 +38,8 @@
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
 #include "obs/obs.hpp"
+#include "ospf/lsdb.hpp"
+#include "ospf/spf.hpp"
 #include "trace/trace.hpp"
 #include "util/alloc_count.hpp"
 #include "util/ip.hpp"
@@ -159,6 +164,59 @@ Measurement bench_frame_fanout(std::uint64_t sends, std::uint64_t warmup,
   return m;
 }
 
+/// Memoized SPF probe: repeated RouteCache::get against an unchanged
+/// mesh LSDB, with `now` advancing inside the validity horizon — every
+/// call is a cache hit, as post-convergence probes are in a scenario.
+Measurement bench_spf_probe(std::uint64_t probes) {
+  using namespace std::chrono_literals;
+  constexpr std::size_t kRouters = 12;
+  const auto rid = [](std::size_t i) {
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    return RouterId{b, b, b, b};
+  };
+  ospf::Lsdb db;
+  for (std::size_t a = 0; a < kRouters; ++a) {
+    ospf::Lsa lsa;
+    lsa.header.type = ospf::LsaType::kRouter;
+    lsa.header.link_state_id = Ipv4Addr{rid(a).value()};
+    lsa.header.advertising_router = rid(a);
+    ospf::RouterLsaBody body;
+    for (std::size_t b = 0; b < kRouters; ++b) {
+      if (a == b) continue;
+      body.links.push_back({Ipv4Addr{rid(b).value()}, Ipv4Addr{},
+                            ospf::RouterLinkType::kPointToPoint, 10});
+    }
+    body.links.push_back({Ipv4Addr{10, 1, static_cast<std::uint8_t>(a), 0},
+                          Ipv4Addr{255, 255, 255, 0},
+                          ospf::RouterLinkType::kStub, 1});
+    lsa.body = std::move(body);
+    db.install(lsa, SimTime{0});
+  }
+
+  ospf::RouteCache cache;
+  SimTime now = 1s;
+  (void)cache.get(db, rid(0), now);  // warm: one real SPF run
+
+  const std::uint64_t allocs_before = util::allocation_count();
+  const auto start = Clock::now();
+  std::uint64_t table_entries = 0;
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    now += SimTime{1};  // 1 us per probe keeps the whole run inside MaxAge
+    table_entries += cache.get(db, rid(0), now).size();
+  }
+  const double wall = seconds_since(start);
+  const std::uint64_t allocs = util::allocation_count() - allocs_before;
+
+  Measurement m;
+  m.events = probes;
+  m.events_per_sec = probes / wall;
+  m.allocs_per_event = static_cast<double>(allocs) / probes;
+  // One stub route per router; anything else means the probe loop was not
+  // actually hitting a correct cached table.
+  if (table_entries != probes * kRouters) m.events_per_sec = -1;
+  return m;
+}
+
 /// Naive extractor for the flat JSON this bench itself writes: finds
 /// `"<bench>":{"<field>":<number>` and parses the number. Returns -1 when
 /// the shape is absent (e.g. a baseline from an older build).
@@ -271,6 +329,14 @@ int main(int argc, char** argv) {
               obs_fanout.events_per_sec, obs_fanout.allocs_per_event,
               obs_overhead_pct);
 
+  const Measurement spf = best_of([&] {
+    return bench_spf_probe(short_mode ? 2'000'000 : 20'000'000);
+  });
+  std::printf("spf_probe:     %12.0f probes/s   %.3f allocs/probe"
+              "   (%llu probes)\n",
+              spf.events_per_sec, spf.allocs_per_event,
+              static_cast<unsigned long long>(spf.events));
+
   // The audit workload runs in both modes so CI can gate it. Best-of
   // repeats: wall clock on shared runners is noisy, and only a shift of
   // the fastest run indicates a real regression.
@@ -279,7 +345,7 @@ int main(int argc, char** argv) {
     audit_ms = std::min(audit_ms, bench_audit_wall_ms());
   std::printf("audit (paper defaults, jobs=1): %.0f ms\n", audit_ms);
 
-  char json[1280];
+  char json[1536];
   std::snprintf(
       json, sizeof json,
       "{\"bench\":\"simcore\",\"mode\":\"%s\","
@@ -288,12 +354,13 @@ int main(int argc, char** argv) {
       "\"traced_fanout\":{\"frames_per_sec\":%.0f,\"allocs_per_event\":%.4f},"
       "\"obs_fanout\":{\"frames_per_sec\":%.0f,\"allocs_per_event\":%.4f,"
       "\"overhead_pct\":%.2f},"
+      "\"spf_probe\":{\"probes_per_sec\":%.0f,\"allocs_per_probe\":%.4f},"
       "\"audit_wall_ms\":%.0f}",
       short_mode ? "short" : "full", timer.events_per_sec,
       timer.allocs_per_event, fanout.events_per_sec, fanout.allocs_per_event,
       traced.events_per_sec, traced.allocs_per_event,
       obs_fanout.events_per_sec, obs_fanout.allocs_per_event,
-      obs_overhead_pct, audit_ms);
+      obs_overhead_pct, spf.events_per_sec, spf.allocs_per_event, audit_ms);
   std::printf("\n%s\n", json);
 
   std::ofstream out(out_path);
@@ -309,9 +376,11 @@ int main(int argc, char** argv) {
   // the untraced paths are gated.)
   const bool zero_alloc = timer.allocs_per_event == 0.0 &&
                           fanout.allocs_per_event == 0.0 &&
-                          obs_fanout.allocs_per_event == 0.0;
-  std::printf("\nzero steady-state allocations (timer + fanout + obs): %s\n",
-              zero_alloc ? "yes" : "NO");
+                          obs_fanout.allocs_per_event == 0.0 &&
+                          spf.allocs_per_event == 0.0;
+  std::printf(
+      "\nzero steady-state allocations (timer + fanout + obs + spf): %s\n",
+      zero_alloc ? "yes" : "NO");
 
   // Disabled-registry regression gate: against a baseline JSON, the
   // disabled-path rates must stay within --gate-pct. Wall-clock rates only
@@ -347,6 +416,9 @@ int main(int argc, char** argv) {
     check("traced_fanout",
           extract_rate(base, "traced_fanout", "frames_per_sec"),
           traced.events_per_sec);
+    check("spf_probe",
+          extract_rate(base, "spf_probe", "probes_per_sec"),
+          spf.events_per_sec);
     // audit_wall_ms is a time, not a rate: lower is better, and at
     // ~tens of ms it is far noisier than the tight fan-out loops, so it
     // gets its own (looser) limit.

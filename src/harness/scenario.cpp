@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "harness/workspace.hpp"
+
 namespace nidkit::harness {
 
 std::size_t expected_adjacency_endpoints(const topo::Spec& spec) {
@@ -26,8 +28,15 @@ std::size_t expected_adjacency_endpoints(const topo::Spec& spec) {
 }
 
 ScenarioResult run_scenario(const Scenario& scenario) {
-  netsim::Simulator sim;
-  netsim::Network net(sim, scenario.seed);
+  return run_scenario(scenario, Workspace::of_current_thread());
+}
+
+ScenarioResult run_scenario(const Scenario& scenario, Workspace& ws) {
+  // The workspace hands back simulator/network state identical to a fresh
+  // construction; only the allocations are recycled.
+  ws.reset(scenario.seed);
+  netsim::Simulator& sim = ws.sim();
+  netsim::Network& net = ws.net();
   const topo::Built built = topo::build(net, scenario.topology);
 
   trace::TraceLog log;
@@ -49,8 +58,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   Rng seeder(scenario.seed * 0x9e3779b97f4a7c15ULL + 1);
 
   if (scenario.protocol == Protocol::kOspf) {
-    std::vector<std::unique_ptr<ospf::Router>> routers;
-    routers.reserve(built.nodes.size());
+    util::ObjectPool<ospf::Router>& routers = ws.ospf_routers();
     for (std::size_t i = 0; i < built.nodes.size(); ++i) {
       ospf::RouterConfig cfg;
       const auto b = static_cast<std::uint8_t>(i + 1);
@@ -58,18 +66,17 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       cfg.profile = scenario.ospf_profile;
       if (scenario.lsa_refresh.count() > 0)
         cfg.profile.lsa_refresh_interval = scenario.lsa_refresh;
-      routers.push_back(std::make_unique<ospf::Router>(
-          net, built.nodes[i], cfg, seeder.next()));
+      routers.create(net, built.nodes[i], cfg, seeder.next());
     }
     if (scenario.state_probe) {
       log.set_state_prober([&routers](netsim::NodeId node) {
-        return node < routers.size() ? routers[node]->max_neighbor_state()
+        return node < routers.size() ? routers[node].max_neighbor_state()
                                      : -1;
       });
     }
     // Staggered startup, as daemons in containers never boot in lockstep.
     for (std::size_t i = 0; i < routers.size(); ++i) {
-      ospf::Router* r = routers[i].get();
+      ospf::Router* r = &routers[i];
       sim.schedule(seeder.jitter(0ms, 2s), [r] { r->start(); });
     }
     // Churn workload: alternating routers inject external LSAs.
@@ -78,7 +85,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       const std::size_t who = churn_net % routers.size();
       const std::uint32_t third_octet = 100 + churn_net;
       ++churn_net;
-      ospf::Router* r = routers[who].get();
+      ospf::Router* r = &routers[who];
       sim.schedule_at(when, [r, third_octet] {
         r->originate_external(
             Ipv4Addr{192, 168, static_cast<std::uint8_t>(third_octet), 0},
@@ -87,15 +94,29 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     }
 
     // Convergence probe: sample adjacency counts once per simulated second
-    // and record the first instant the expected count is reached.
+    // and record the first instant the expected count is reached. A
+    // neighbor can only enter or leave Full through set_neighbor_state,
+    // which bumps the router's fsm_transitions counter — so a router whose
+    // counter is unchanged since the last probe is skipped and its cached
+    // count reused.
     const std::size_t expected_endpoints =
         expected_adjacency_endpoints(scenario.topology);
-    auto count_full = [&routers] {
+    std::vector<std::uint64_t> probe_seen(routers.size(), ~std::uint64_t{0});
+    std::vector<std::size_t> probe_full(routers.size(), 0);
+    auto count_full = [&routers, &probe_seen, &probe_full] {
       std::size_t full = 0;
-      for (const auto& r : routers)
-        for (const auto& oi : r->interfaces())
-          for (const auto& [id, n] : oi.neighbors)
-            if (n.state == ospf::NeighborState::kFull) ++full;
+      for (std::size_t i = 0; i < routers.size(); ++i) {
+        const std::uint64_t transitions = routers[i].stats().fsm_transitions;
+        if (transitions != probe_seen[i]) {
+          std::size_t mine = 0;
+          for (const auto& oi : routers[i].interfaces())
+            for (const auto& [id, n] : oi.neighbors)
+              if (n.state == ospf::NeighborState::kFull) ++mine;
+          probe_seen[i] = transitions;
+          probe_full[i] = mine;
+        }
+        full += probe_full[i];
+      }
       return full;
     };
     std::function<void()> probe = [&] {
@@ -112,12 +133,13 @@ ScenarioResult run_scenario(const Scenario& scenario) {
 
     sim.run_until(scenario.duration);
 
-    for (const auto& r : routers) {
-      for (const auto& oi : r->interfaces())
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      const ospf::Router& r = routers[i];
+      for (const auto& oi : r.interfaces())
         for (const auto& [id, n] : oi.neighbors)
           if (n.state == ospf::NeighborState::kFull)
             ++result.full_adjacencies;
-      const auto& s = r->stats();
+      const auto& s = r.stats();
       for (int t = 0; t <= ospf::kNumPacketTypes; ++t) {
         result.ospf_totals.tx_by_type[t] += s.tx_by_type[t];
         result.ospf_totals.rx_by_type[t] += s.rx_by_type[t];
@@ -139,9 +161,9 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> costs;
     result.routes_consistent = true;
     bool first_router = true;
-    for (const auto& r : routers) {
+    for (std::size_t i = 0; i < routers.size(); ++i) {
       std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> mine;
-      for (const auto& route : r->routes())
+      for (const auto& route : routers[i].routes())
         mine[{route.prefix.value(), route.mask.value()}] = route.cost;
       if (first_router) {
         costs = std::move(mine);
@@ -162,19 +184,17 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       net.fault(s).fifo = true;
     }
 
-    std::vector<std::unique_ptr<bgp::BgpRouter>> routers;
-    routers.reserve(built.nodes.size());
+    util::ObjectPool<bgp::BgpRouter>& routers = ws.bgp_routers();
     for (std::size_t i = 0; i < built.nodes.size(); ++i) {
       bgp::BgpConfig cfg;
       cfg.as_number = static_cast<std::uint16_t>(65001 + i);
       const auto b = static_cast<std::uint8_t>(i + 1);
       cfg.router_id = RouterId{b, b, b, b};
       cfg.profile = scenario.bgp_profile;
-      routers.push_back(std::make_unique<bgp::BgpRouter>(
-          net, built.nodes[i], cfg, seeder.next()));
+      routers.create(net, built.nodes[i], cfg, seeder.next());
     }
     for (std::size_t i = 0; i < routers.size(); ++i) {
-      bgp::BgpRouter* r = routers[i].get();
+      bgp::BgpRouter* r = &routers[i];
       const auto third = static_cast<std::uint8_t>(10 + i);
       sim.schedule(seeder.jitter(0ms, 2s), [r, third] {
         r->start();
@@ -191,7 +211,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       const bool longpath =
           churn_net == 0 && scenario.bgp_longpath_prepend > 0;
       ++churn_net;
-      bgp::BgpRouter* r = routers[who].get();
+      bgp::BgpRouter* r = &routers[who];
       const std::size_t prepend =
           longpath ? scenario.bgp_longpath_prepend : 1;
       sim.schedule_at(when, [r, third_octet, prepend] {
@@ -206,9 +226,10 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     sim.run_until(scenario.duration);
 
     result.converged = true;
-    for (const auto& r : routers) {
-      if (!r->all_sessions_established()) result.converged = false;
-      const auto& s = r->stats();
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      const bgp::BgpRouter& r = routers[i];
+      if (!r.all_sessions_established()) result.converged = false;
+      const auto& s = r.stats();
       result.bgp_totals.tx_open += s.tx_open;
       result.bgp_totals.rx_open += s.rx_open;
       result.bgp_totals.tx_update += s.tx_update;
@@ -227,21 +248,20 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     // prefix (only checked when nothing is flapping).
     result.routes_consistent = true;
     const std::size_t expected = routers.size();
-    for (const auto& r : routers) {
+    for (std::size_t i = 0; i < routers.size(); ++i) {
       std::size_t base_prefixes = 0;
-      for (const auto& route : r->routes())
+      for (const auto& route : routers[i].routes())
         if ((route.prefix.network.value() >> 24) == 10) ++base_prefixes;
       if (base_prefixes < expected) result.routes_consistent = false;
     }
   } else {
-    std::vector<std::unique_ptr<rip::RipRouter>> routers;
-    routers.reserve(built.nodes.size());
+    util::ObjectPool<rip::RipRouter>& routers = ws.rip_routers();
     for (std::size_t i = 0; i < built.nodes.size(); ++i) {
-      routers.push_back(std::make_unique<rip::RipRouter>(
-          net, built.nodes[i], scenario.rip_profile, seeder.next()));
+      routers.create(net, built.nodes[i], scenario.rip_profile,
+                     seeder.next());
     }
     for (std::size_t i = 0; i < routers.size(); ++i) {
-      rip::RipRouter* r = routers[i].get();
+      rip::RipRouter* r = &routers[i];
       sim.schedule(seeder.jitter(0ms, 2s), [r] { r->start(); });
     }
     std::uint32_t churn_net = 0;
@@ -249,7 +269,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       const std::size_t who = churn_net % routers.size();
       const std::uint32_t third_octet = 100 + churn_net;
       ++churn_net;
-      rip::RipRouter* r = routers[who].get();
+      rip::RipRouter* r = &routers[who];
       sim.schedule_at(when, [r, third_octet] {
         r->originate(
             Ipv4Addr{192, 168, static_cast<std::uint8_t>(third_octet), 0},
@@ -262,12 +282,13 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     std::size_t expected_prefixes = net.segment_count() +
                                     scenario.churn_times.size();
     result.routes_consistent = true;
-    for (const auto& r : routers) {
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      const rip::RipRouter& r = routers[i];
       std::size_t reachable = 0;
-      for (const auto& route : r->routes())
+      for (const auto& route : r.routes())
         if (route.metric < rip::kInfinityMetric) ++reachable;
       if (reachable < expected_prefixes) result.routes_consistent = false;
-      const auto& s = r->stats();
+      const auto& s = r.stats();
       result.rip_totals.tx_requests += s.tx_requests;
       result.rip_totals.tx_responses += s.tx_responses;
       result.rip_totals.rx_requests += s.rx_requests;
@@ -346,8 +367,10 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   }
 
   result.log = std::move(log);
-  // The network (and its tap pointing into the dead TraceLog) dies here;
-  // the moved-out log and statistics are self-contained.
+  // The network survives in the workspace, so its tap (which points into
+  // the dead local TraceLog shell) must be dropped before we return; the
+  // moved-out log and statistics are self-contained.
+  net.set_tap(nullptr);
   return result;
 }
 

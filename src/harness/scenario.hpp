@@ -101,8 +101,17 @@ struct ScenarioResult {
   obs::ScenarioMetrics metrics;
 };
 
+class Workspace;
+
 /// Runs one scenario to completion. Deterministic in (scenario, seed).
+/// Uses the calling thread's Workspace (see workspace.hpp), so
+/// back-to-back scenarios on one thread reuse simulator/network/router
+/// storage — with output byte-identical to a fresh construction.
 ScenarioResult run_scenario(const Scenario& scenario);
+
+/// Same, on an explicit workspace (reset()s it first). Exposed for tests
+/// and benchmarks that manage workspace lifetime themselves.
+ScenarioResult run_scenario(const Scenario& scenario, Workspace& ws);
 
 /// Expected number of Full adjacency endpoints for a topology (2 per
 /// p2p link; LAN: 2*(n-1) DR-centric pairs... computed per spec).

@@ -1,0 +1,10 @@
+#include "harness/workspace.hpp"
+
+namespace nidkit::harness {
+
+Workspace& Workspace::of_current_thread() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace nidkit::harness

@@ -16,9 +16,50 @@ bool is_multicast(Ipv4Addr addr) {
 
 Network::Network(Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
 
+void Network::reset(std::uint64_t seed) {
+  for (std::size_t i = 0; i < live_nodes_; ++i) {
+    nodes_[i].ifaces.clear();
+    nodes_[i].on_receive = nullptr;
+  }
+  for (std::size_t i = 0; i < live_segments_; ++i)
+    segments_[i].attached.clear();
+  live_nodes_ = 0;
+  live_segments_ = 0;
+  tap_ = nullptr;
+  rng_ = Rng(seed);
+  next_subnet_ = 0;
+  next_frame_id_ = 0;
+  frames_dropped_ = 0;
+  frames_delivered_ = 0;
+  frames_duplicated_ = 0;
+  frames_reorder_delayed_ = 0;
+}
+
 NodeId Network::add_node(std::string name) {
-  nodes_.push_back(NodeState{std::move(name), {}, nullptr});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  if (live_nodes_ < nodes_.size()) {
+    // Reuse the retired slot: the name assignment stays inside the small
+    // string buffer for harness-style names, and the cleared iface vector
+    // keeps its capacity.
+    nodes_[live_nodes_].name = std::move(name);
+  } else {
+    nodes_.push_back(NodeState{std::move(name), {}, nullptr});
+  }
+  return static_cast<NodeId>(live_nodes_++);
+}
+
+Network::SegmentState& Network::new_segment(SegmentKind kind) {
+  if (live_segments_ < segments_.size()) {
+    SegmentState& seg = segments_[live_segments_];
+    seg.kind = kind;
+    seg.fault = FaultModel{};
+    seg.rng = rng_.fork();
+    seg.tx_free_at = SimTime{0};
+    ++live_segments_;
+    return seg;
+  }
+  segments_.push_back(SegmentState{kind, {}, FaultModel{}, rng_.fork(), {}});
+  ++live_segments_;
+  return segments_.back();
 }
 
 IfaceIndex Network::attach(NodeId node, SegmentId segment, Ipv4Addr addr,
@@ -35,9 +76,8 @@ SegmentId Network::add_p2p(NodeId a, NodeId b) {
   // Subnets are carved from 10.0.0.0/8: each segment gets 10.x.y.0.
   const std::uint32_t net =
       (10u << 24) | (++next_subnet_ << 8);
-  segments_.push_back(
-      SegmentState{SegmentKind::kP2p, {}, FaultModel{}, rng_.fork(), {}});
-  const auto seg = static_cast<SegmentId>(segments_.size() - 1);
+  new_segment(SegmentKind::kP2p);
+  const auto seg = static_cast<SegmentId>(live_segments_ - 1);
   attach(a, seg, Ipv4Addr{net | 1}, 30);
   attach(b, seg, Ipv4Addr{net | 2}, 30);
   return seg;
@@ -47,9 +87,8 @@ SegmentId Network::add_lan(std::span<const NodeId> members) {
   if (members.size() < 2)
     throw std::invalid_argument("a LAN needs at least two members");
   const std::uint32_t net = (10u << 24) | (++next_subnet_ << 8);
-  segments_.push_back(
-      SegmentState{SegmentKind::kLan, {}, FaultModel{}, rng_.fork(), {}});
-  const auto seg = static_cast<SegmentId>(segments_.size() - 1);
+  new_segment(SegmentKind::kLan);
+  const auto seg = static_cast<SegmentId>(live_segments_ - 1);
   std::uint32_t host = 0;
   for (const NodeId m : members) attach(m, seg, Ipv4Addr{net | ++host}, 24);
   return seg;

@@ -103,6 +103,14 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Returns the network to its just-constructed state with a fresh rng
+  /// seed. Node and segment storage is retained and reused by subsequent
+  /// add_node/add_p2p/add_lan calls, so rebuilding the same (or a smaller)
+  /// topology allocates nothing: inner vectors keep their capacity and
+  /// per-segment rngs are re-forked in the same order a fresh Network
+  /// would fork them. The tap and all receive handlers are dropped.
+  void reset(std::uint64_t seed);
+
   NodeId add_node(std::string name);
 
   /// Connects two nodes with a point-to-point link, creating one interface
@@ -125,8 +133,8 @@ class Network {
   FaultModel& fault(SegmentId segment);
   const FaultModel& fault(SegmentId segment) const;
 
-  std::size_t node_count() const { return nodes_.size(); }
-  std::size_t segment_count() const { return segments_.size(); }
+  std::size_t node_count() const { return live_nodes_; }
+  std::size_t segment_count() const { return live_segments_; }
   const std::string& node_name(NodeId node) const;
   std::size_t iface_count(NodeId node) const;
   const Interface& iface(NodeId node, IfaceIndex idx) const;
@@ -176,11 +184,18 @@ class Network {
                     std::uint8_t prefix_len);
   void deliver(SegmentId segment, Attachment& to, const Frame& frame,
                SimDuration extra);
+  /// Reuses the slot past the live watermark (or appends) for a new
+  /// segment; forks the network rng for it either way.
+  SegmentState& new_segment(SegmentKind kind);
 
   Simulator& sim_;
   Rng rng_;
+  /// Element storage outlives reset(): only the first live_nodes_ /
+  /// live_segments_ elements are current; the rest are retained capacity.
   std::vector<NodeState> nodes_;
   std::vector<SegmentState> segments_;
+  std::size_t live_nodes_ = 0;
+  std::size_t live_segments_ = 0;
   Tap tap_;
   std::uint32_t next_subnet_ = 0;
   std::uint64_t next_frame_id_ = 0;

@@ -73,6 +73,21 @@ class Simulator {
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
+  /// Returns the simulator to its just-constructed state — clock at
+  /// kSimStart, empty queue, zeroed counters — while keeping the event
+  /// heap, timer slab and freelist capacity, so a reused simulator reaches
+  /// its high-water mark allocation-free. Outstanding TimerHandles must
+  /// not be used afterwards (their owners are torn down first by
+  /// harness::Workspace::reset).
+  void reset() {
+    heap_.clear();
+    slots_.clear();
+    free_slots_.clear();
+    now_ = kSimStart;
+    next_seq_ = 0;
+    executed_ = 0;
+  }
+
  private:
   friend class TimerHandle;
 

@@ -10,6 +10,7 @@ std::optional<LsaHeader> Lsdb::install(Lsa lsa, SimTime now) {
   auto it = entries_.find(key);
   if (it != entries_.end()) previous = it->second.lsa.header;
   entries_[key] = Entry{std::move(lsa), now, now};
+  ++version_;
   return previous;
 }
 
@@ -23,7 +24,34 @@ Lsdb::Entry* Lsdb::find(const LsaKey& key) {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-void Lsdb::remove(const LsaKey& key) { entries_.erase(key); }
+void Lsdb::remove(const LsaKey& key) {
+  if (entries_.erase(key) > 0) ++version_;
+}
+
+const Lsdb::TypedIndex& Lsdb::typed_index() const {
+  if (index_version_ == version_) return index_;
+  index_.routers.clear();
+  index_.networks.clear();
+  index_.externals.clear();
+  for (const auto& [key, entry] : entries_) {
+    switch (key.type) {
+      case LsaType::kRouter:
+        index_.routers.emplace_back(key.link_state_id, &entry);
+        break;
+      case LsaType::kNetwork:
+        index_.networks.emplace_back(key.link_state_id, &entry);
+        break;
+      case LsaType::kExternal:
+        index_.externals.push_back(
+            {key.link_state_id, key.advertising_router, &entry});
+        break;
+      default:
+        break;
+    }
+  }
+  index_version_ = version_;
+  return index_;
+}
 
 std::uint16_t Lsdb::age_at(const Entry& entry, SimTime now) const {
   const auto elapsed =

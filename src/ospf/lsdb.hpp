@@ -37,6 +37,20 @@ class Lsdb {
     SimTime last_accepted_at{0};  ///< for MinLSArrival enforcement
   };
 
+  /// Per-type views of the database, in LsaKey order within each type.
+  /// Pointers are stable until the next install/remove (map nodes).
+  struct TypedIndex {
+    std::vector<std::pair<Ipv4Addr, const Entry*>> routers;   ///< by LS id
+    std::vector<std::pair<Ipv4Addr, const Entry*>> networks;  ///< by DR addr
+    /// (link_state_id = prefix, advertising router = ASBR, entry)
+    struct ExternalRef {
+      Ipv4Addr prefix;
+      RouterId origin;
+      const Entry* entry;
+    };
+    std::vector<ExternalRef> externals;
+  };
+
   /// Installs (or replaces) an instance. Returns the previous instance's
   /// header if one existed.
   std::optional<LsaHeader> install(Lsa lsa, SimTime now);
@@ -45,6 +59,15 @@ class Lsdb {
   Entry* find(const LsaKey& key);
 
   void remove(const LsaKey& key);
+
+  /// Monotonic content version: bumped on every install or remove. Two
+  /// calls observing the same version saw byte-identical content (ages
+  /// still drift with `now`; see RouteCache's validity horizon).
+  std::uint64_t version() const { return version_; }
+
+  /// Per-type entry index, rebuilt lazily after content changes. The
+  /// returned reference is valid until the next install/remove.
+  const TypedIndex& typed_index() const;
 
   /// The LSA's current age at `now`, capped at MaxAge.
   std::uint16_t age_at(const Entry& entry, SimTime now) const;
@@ -61,6 +84,10 @@ class Lsdb {
 
  private:
   std::map<LsaKey, Entry> entries_;
+  std::uint64_t version_ = 0;
+  // Lazily rebuilt by typed_index() when index_version_ falls behind.
+  mutable TypedIndex index_;
+  mutable std::uint64_t index_version_ = ~std::uint64_t{0};
 };
 
 }  // namespace nidkit::ospf

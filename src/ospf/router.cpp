@@ -532,6 +532,4 @@ bool Router::full_adjacencies(std::size_t expected) const {
   return full >= expected;
 }
 
-std::vector<Route> Router::routes() const { return compute_spf(); }
-
 }  // namespace nidkit::ospf

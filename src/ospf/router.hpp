@@ -24,6 +24,7 @@
 #include "netsim/network.hpp"
 #include "ospf/config.hpp"
 #include "ospf/lsdb.hpp"
+#include "ospf/spf.hpp"
 #include "packet/ospf_packet.hpp"
 #include "util/rng.hpp"
 
@@ -118,19 +119,6 @@ struct OspfInterface {
   netsim::TimerHandle flood_timer;
 };
 
-/// A computed route (SPF output). Equal-cost multipath is supported:
-/// `next_hops` lists every tied next-hop router; `via` is the primary
-/// (lowest router id), kept for convenience.
-struct Route {
-  Ipv4Addr prefix;
-  Ipv4Addr mask;
-  std::uint32_t cost = 0;
-  RouterId via;  ///< primary next hop (0 for directly attached)
-  std::vector<RouterId> next_hops;  ///< all equal-cost next hops
-
-  friend bool operator==(const Route&, const Route&) = default;
-};
-
 class Router {
  public:
   /// Binds the engine to `node` of `net`. Call start() to bring the
@@ -168,8 +156,16 @@ class Router {
   /// True when the router has `expected` fully adjacent neighbors.
   bool full_adjacencies(std::size_t expected) const;
 
-  /// SPF result over the current LSDB (computed on demand).
-  std::vector<Route> routes() const;
+  /// SPF result over the current LSDB, memoized by LSDB content version
+  /// and age-validity horizon: repeated probes between LSDB changes return
+  /// the cached table without recomputing. The reference is valid until
+  /// the next routes() call after an LSDB change.
+  const std::vector<Route>& routes() const {
+    return route_cache_.get(lsdb_, config_.router_id, now());
+  }
+
+  /// Number of actual SPF kernel runs behind routes() (cache misses).
+  std::uint64_t spf_runs() const { return route_cache_.recomputes(); }
 
   /// Originates an AS-external LSA (the router acts as an ASBR). Used by
   /// workloads to create LSDB churn.
@@ -271,9 +267,6 @@ class Router {
   /// when `key` was originated too recently.
   bool origination_allowed(const LsaKey& key, std::function<void()> retry);
 
-  // -- spf.cpp: §16
-  std::vector<Route> compute_spf() const;
-
   OspfInterface* iface_by_index(netsim::IfaceIndex index);
   Neighbor* find_neighbor_by_address(OspfInterface& oi, Ipv4Addr addr);
   bool is_dr_or_bdr(const OspfInterface& oi) const;
@@ -297,6 +290,8 @@ class Router {
   /// and the highest sequence accepted per sender (anti-replay).
   std::uint32_t crypto_seq_ = 0;
   std::map<RouterId, std::uint32_t> crypto_seq_seen_;
+  /// Memoized SPF output (routes() is const; the cache is bookkeeping).
+  mutable RouteCache route_cache_;
   Stats stats_;
   bool started_ = false;
 };

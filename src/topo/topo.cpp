@@ -42,6 +42,13 @@ Built build(netsim::Network& net, const Spec& spec) {
 
   Built out;
   out.spec = spec;
+  // Exact counts are known up front; reserving keeps a warm-workspace
+  // scenario setup at two allocations (these result vectors), which the
+  // workspace alloc-budget test pins down.
+  out.nodes.reserve(spec.routers);
+  out.segments.reserve(spec.kind == Kind::kMesh
+                           ? spec.routers * (spec.routers - 1) / 2
+                           : spec.routers);
   for (std::size_t i = 0; i < spec.routers; ++i)
     out.nodes.push_back(net.add_node("r" + std::to_string(i)));
   const auto& n = out.nodes;

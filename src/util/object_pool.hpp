@@ -1,0 +1,65 @@
+// Address-stable object pool for scenario-scoped engines.
+//
+// harness::Workspace keeps router fleets alive across scenarios: each
+// scenario placement-constructs its routers into slots retained from the
+// previous one, so steady-state setup allocates nothing. Slots are
+// individually heap-allocated (one per object, reused forever), so the
+// objects never relocate — routers hand `this`-capturing closures to the
+// simulator and the network, which makes address stability a hard
+// requirement. clear() destroys live objects in reverse construction order
+// but keeps every slot for reuse.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace nidkit::util {
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+  ~ObjectPool() { clear(); }
+
+  /// Constructs a new T in the next slot (reused if available) and returns
+  /// it. References stay valid until clear().
+  template <typename... Args>
+  T& create(Args&&... args) {
+    if (live_ == slots_.size()) slots_.push_back(std::make_unique<Slot>());
+    T* obj = new (slots_[live_]->storage) T(std::forward<Args>(args)...);
+    ++live_;
+    return *obj;
+  }
+
+  /// Destroys all live objects (reverse construction order); slots are
+  /// retained for the next round of create() calls.
+  void clear() {
+    for (std::size_t i = live_; i-- > 0;) get(i)->~T();
+    live_ = 0;
+  }
+
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  T& operator[](std::size_t i) { return *get(i); }
+  const T& operator[](std::size_t i) const { return *get(i); }
+
+ private:
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  T* get(std::size_t i) const {
+    return std::launder(reinterpret_cast<T*>(slots_[i]->storage));
+  }
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace nidkit::util

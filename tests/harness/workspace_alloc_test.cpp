@@ -1,0 +1,71 @@
+// Allocation-budget test for the workspace reuse path.
+//
+// The point of Workspace is that per-scenario setup stops costing heap
+// traffic once a worker is warm: reset() rewinds the simulator, network
+// and router pools without releasing their storage, and the next
+// scenario's topology build + router construction refills the same
+// memory. This binary links nidkit_alloc_count, so the budget below is
+// exact and a regression (say, a reset() that clear()s a vector by
+// swapping in a fresh one) fails here instead of showing up as an
+// audit_wall_ms drift three PRs later.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/workspace.hpp"
+#include "ospf/router.hpp"
+#include "topo/topo.hpp"
+#include "util/alloc_count.hpp"
+#include "util/rng.hpp"
+
+namespace nidkit::harness {
+namespace {
+
+/// One scenario's worth of setup, minus the event loop: exactly what
+/// run_scenario does before scheduling work.
+void setup_lap(Workspace& ws, std::uint64_t seed) {
+  ws.reset(seed);
+  const topo::Built built = topo::build(ws.net(), {topo::Kind::kMesh, 5});
+  Rng seeder(seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (std::size_t i = 0; i < built.nodes.size(); ++i) {
+    ospf::RouterConfig cfg;
+    const auto b = static_cast<std::uint8_t>(i + 1);
+    cfg.router_id = RouterId{b, b, b, b};
+    ws.ospf_routers().create(ws.net(), built.nodes[i], cfg, seeder.next());
+  }
+}
+
+TEST(AllocBudget, WorkspaceResetIsAllocationFree) {
+  Workspace ws;
+  setup_lap(ws, 1);  // populate pools so reset has real work to do
+  const auto before = util::allocation_count();
+  ws.reset(2);
+  const auto after = util::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "Workspace::reset allocated; storage is supposed to be retained";
+}
+
+TEST(AllocBudget, WarmScenarioSetupIsNearlyAllocationFree) {
+  Workspace ws;
+  // Warm-up: first lap grows node/segment vectors, router slots, rng
+  // forks; second lap catches anything sized on first use.
+  setup_lap(ws, 1);
+  setup_lap(ws, 2);
+
+  const auto before = util::allocation_count();
+  setup_lap(ws, 3);
+  const auto mid = util::allocation_count();
+  setup_lap(ws, 4);
+  const auto after = util::allocation_count();
+
+  const auto lap1 = mid - before;
+  const auto lap2 = after - mid;
+  // Steady state: the per-lap cost must be flat (nothing accumulates)...
+  EXPECT_EQ(lap1, lap2) << "setup allocations grow lap over lap";
+  // ...and essentially zero. The allowance of 2 is topo::Built's two
+  // result vectors, which are returned by value and cannot be pooled.
+  EXPECT_LE(lap1, 2u) << "warm scenario setup should not hit the heap";
+}
+
+}  // namespace
+}  // namespace nidkit::harness

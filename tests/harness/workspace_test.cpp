@@ -1,0 +1,120 @@
+// Workspace reuse contract: a scenario run on a warm (previously used)
+// workspace must be byte-identical to the same scenario run on a fresh
+// one. This is what makes per-worker workspace pooling invisible to the
+// audit/sweep pipelines — any divergence here would show up as a cache
+// key mismatch or a report diff three layers up.
+#include "harness/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/scenario.hpp"
+
+namespace nidkit::harness {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string trace_text(const ScenarioResult& r) {
+  std::ostringstream os;
+  r.log.save(os);
+  return os.str();
+}
+
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b,
+                      const char* label) {
+  EXPECT_EQ(trace_text(a), trace_text(b)) << label;
+  EXPECT_EQ(a.metrics, b.metrics) << label;
+  EXPECT_EQ(a.routers, b.routers) << label;
+  EXPECT_EQ(a.segments, b.segments) << label;
+  EXPECT_EQ(a.full_adjacencies, b.full_adjacencies) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+  EXPECT_EQ(a.convergence_time, b.convergence_time) << label;
+  EXPECT_EQ(a.routes_consistent, b.routes_consistent) << label;
+  EXPECT_EQ(a.frames_delivered, b.frames_delivered) << label;
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped) << label;
+}
+
+Scenario ospf_scenario(topo::Kind kind, std::size_t n, std::uint64_t seed) {
+  Scenario s;
+  s.topology = {kind, n};
+  s.seed = seed;
+  s.duration = 90s;
+  return s;
+}
+
+TEST(Workspace, WarmReuseIsByteIdenticalToFreshConstruction) {
+  const Scenario big = ospf_scenario(topo::Kind::kMesh, 4, 11);
+  const Scenario small = ospf_scenario(topo::Kind::kLinear, 2, 22);
+
+  // Fresh baselines: each scenario on its own never-used workspace.
+  Workspace fresh_big, fresh_small;
+  const auto base_big = run_scenario(big, fresh_big);
+  const auto base_small = run_scenario(small, fresh_small);
+
+  // Warm runs: big → small → big on ONE workspace. The small run must
+  // cope with oversized leftover storage (more nodes/segments/routers
+  // than it needs); the second big run must cope with a shrunken live
+  // set growing back.
+  Workspace ws;
+  const auto warm_big1 = run_scenario(big, ws);
+  const auto warm_small = run_scenario(small, ws);
+  const auto warm_big2 = run_scenario(big, ws);
+
+  expect_identical(warm_big1, base_big, "first use");
+  expect_identical(warm_small, base_small, "shrinking reuse");
+  expect_identical(warm_big2, base_big, "regrowing reuse");
+}
+
+TEST(Workspace, ReuseAcrossProtocolsIsByteIdentical) {
+  Scenario ospf = ospf_scenario(topo::Kind::kMesh, 3, 5);
+  Scenario rip = ospf;
+  rip.protocol = Protocol::kRip;
+  Scenario bgp = ospf;
+  bgp.protocol = Protocol::kBgp;
+
+  Workspace fresh1, fresh2, fresh3;
+  const auto base_ospf = run_scenario(ospf, fresh1);
+  const auto base_rip = run_scenario(rip, fresh2);
+  const auto base_bgp = run_scenario(bgp, fresh3);
+
+  Workspace ws;
+  const auto warm_ospf = run_scenario(ospf, ws);
+  const auto warm_rip = run_scenario(rip, ws);
+  const auto warm_bgp = run_scenario(bgp, ws);
+  // And back to OSPF: the OSPF pool was idle for two runs.
+  const auto warm_ospf2 = run_scenario(ospf, ws);
+
+  expect_identical(warm_ospf, base_ospf, "ospf");
+  expect_identical(warm_rip, base_rip, "rip after ospf");
+  expect_identical(warm_bgp, base_bgp, "bgp after rip");
+  expect_identical(warm_ospf2, base_ospf, "ospf after bgp");
+}
+
+TEST(Workspace, ThreadLocalPathMatchesExplicitWorkspace) {
+  const Scenario s = ospf_scenario(topo::Kind::kRing, 4, 9);
+  Workspace ws;
+  const auto explicit_run = run_scenario(s, ws);
+  // The convenience overload routes through the calling thread's
+  // workspace — which this test suite has already dirtied with earlier
+  // runs, making this a reuse case too.
+  const auto tls_run = run_scenario(s);
+  expect_identical(tls_run, explicit_run, "thread-local vs explicit");
+}
+
+TEST(Workspace, ResetRestoresDeterministicSeedStreams) {
+  // Two identical scenario runs on the same workspace must agree even
+  // though the network's rng was advanced arbitrarily by the first run:
+  // reset(seed) rewinds the stream, the subnet allocator and the frame-id
+  // counters.
+  const Scenario s = ospf_scenario(topo::Kind::kMesh, 4, 33);
+  Workspace ws;
+  const auto first = run_scenario(s, ws);
+  const auto second = run_scenario(s, ws);
+  expect_identical(first, second, "same workspace, same seed");
+}
+
+}  // namespace
+}  // namespace nidkit::harness
