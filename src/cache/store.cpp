@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <system_error>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -100,6 +102,10 @@ std::optional<obs::ScenarioMetrics> decode_metrics(ByteReader& in) {
   obs::ScenarioMetrics m;
   const std::uint32_t count = in.u32();
   if (!in.ok()) return std::nullopt;
+  // Entries were written in sorted order, so decoding is a reserve plus
+  // straight appends; the count is sanity-checked against the remaining
+  // bytes so a corrupted field can't trigger a huge allocation.
+  if (count <= in.remaining() / 10) m.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint16_t len = in.u16();
     const auto name_bytes = in.bytes(len);
@@ -108,7 +114,7 @@ std::optional<obs::ScenarioMetrics> decode_metrics(ByteReader& in) {
                      name_bytes.size());
     const std::uint64_t value = read_u64(in);
     if (!in.ok()) return std::nullopt;
-    m.set(name, value);
+    m.append_sorted(std::move(name), value);
   }
   return m;
 }
@@ -170,14 +176,22 @@ std::optional<std::vector<std::uint8_t>> read_file(const fs::path& path) {
   return bytes;
 }
 
-/// All entry files under `dir`, unsorted. Missing directory → empty.
+/// All loose entry files under `dir`, unsorted, skipping the packs
+/// directory. Missing directory → empty.
 std::vector<fs::path> entry_files(const std::string& dir) {
   std::vector<fs::path> out;
   std::error_code ec;
-  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (it->is_regular_file(ec) && it->path().extension() == kExtension)
-      out.push_back(it->path());
+    std::error_code sub;
+    if (!it->is_directory(sub) || it->path().filename() == kPacksDirName)
+      continue;
+    for (fs::directory_iterator shard(it->path(), sub), send;
+         !sub && shard != send; shard.increment(sub)) {
+      if (shard->is_regular_file(sub) &&
+          shard->path().extension() == kExtension)
+        out.push_back(shard->path());
+    }
   }
   return out;
 }
@@ -188,6 +202,12 @@ double age_seconds_of(const fs::path& path) {
   if (ec) return 0;
   const auto age = fs::file_time_type::clock::now() - mtime;
   return std::chrono::duration<double>(age).count();
+}
+
+std::int64_t now_epoch_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -238,6 +258,65 @@ std::string Store::entry_path(const ScenarioKey& key) const {
       .string();
 }
 
+void Store::ensure_packs_locked() {
+  if (packs_probed_) return;
+  packs_probed_ = true;
+  packs_ = PackSet::open(dir_);
+}
+
+bool Store::reopen_packs_if_changed_locked() {
+  std::error_code ec;
+  const auto path = fs::path(dir_) / kPacksDirName / kManifestName;
+  const auto size = fs::file_size(path, ec);
+  if (ec) {
+    // No manifest on disk: drop a pack set whose files were cleared away.
+    if (!packs_) return false;
+    packs_.reset();
+    return true;
+  }
+  const auto mtime = fs::last_write_time(path, ec);
+  const auto mtime_ns =
+      ec ? 0 : static_cast<std::int64_t>(mtime.time_since_epoch().count());
+  if (packs_ && packs_->manifest_size() == size &&
+      packs_->manifest_mtime_ns() == mtime_ns)
+    return false;
+  packs_ = PackSet::open(dir_);
+  return packs_.has_value();
+}
+
+std::optional<Entry> Store::try_pack_locked(const PackedRecord& rec,
+                                            const ScenarioKey& key) {
+  const auto bytes = packs_->bytes_of(rec);
+  if (bytes.empty()) {
+    ++counters_.bad_entries;  // truncated/missing segment
+    return std::nullopt;
+  }
+  if (pack_checksum(bytes) != rec.checksum) {
+    ++counters_.bad_entries;  // payload bit flip the framing can't see
+    return std::nullopt;
+  }
+  auto entry = decode_entry(key, bytes);
+  if (!entry) {
+    ++counters_.bad_entries;  // bit flip, bad echo, foreign bytes
+    return std::nullopt;
+  }
+  packs_->note_hit(key);
+  return entry;
+}
+
+std::optional<Entry> Store::try_loose_locked(const ScenarioKey& key) {
+  const auto bytes = read_file(entry_path(key));
+  if (!bytes) return std::nullopt;
+  auto entry = decode_entry(key, *bytes);
+  if (!entry) {
+    ++counters_.bad_entries;
+    return std::nullopt;
+  }
+  record_hit_on_disk(entry_path(key));
+  memory_.emplace(key, *entry);
+  return entry;
+}
+
 std::optional<Entry> Store::get(const ScenarioKey& key) {
   std::lock_guard lock(mutex_);
   if (auto it = memory_.find(key); it != memory_.end()) {
@@ -245,21 +324,79 @@ std::optional<Entry> Store::get(const ScenarioKey& key) {
     record_hit_on_disk(entry_path(key));
     return it->second;
   }
-  const auto bytes = read_file(entry_path(key));
-  if (!bytes) {
-    ++counters_.misses;
-    return std::nullopt;
+  ensure_packs_locked();
+  // Two attempts: the second runs only when a full miss coincides with a
+  // manifest that changed on disk (a concurrent compact moved entries out
+  // of the loose tree between our open and this lookup).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (packs_) {
+      if (const auto* rec = packs_->find(key)) {
+        if (auto entry = try_pack_locked(*rec, key)) {
+          ++counters_.pack_hits;
+          return entry;
+        }
+      }
+    }
+    if (auto entry = try_loose_locked(key)) {
+      ++counters_.disk_hits;
+      return entry;
+    }
+    if (attempt == 0 && !reopen_packs_if_changed_locked()) break;
   }
-  auto entry = decode_entry(key, *bytes);
-  if (!entry) {
-    ++counters_.bad_entries;
+  ++counters_.misses;
+  return std::nullopt;
+}
+
+Store::BatchResult Store::get_batch(std::span<const ScenarioKey> keys) {
+  BatchResult out;
+  out.entries.resize(keys.size());
+  std::lock_guard lock(mutex_);
+  ensure_packs_locked();
+
+  // Key-sorted visit order: the manifest (also key-sorted) is then walked
+  // monotonically — one forward pass, each binary search bounded below by
+  // the previous hit.
+  std::vector<std::uint32_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+
+  const PackedRecord* lo = packs_ ? packs_->records().data() : nullptr;
+  const PackedRecord* hi =
+      packs_ ? lo + packs_->records().size() : nullptr;
+  for (const auto i : order) {
+    const ScenarioKey& key = keys[i];
+    if (auto it = memory_.find(key); it != memory_.end()) {
+      ++counters_.memory_hits;
+      record_hit_on_disk(entry_path(key));
+      ++out.loose_hits;
+      out.entries[i] = it->second;
+      continue;
+    }
+    if (lo != hi) {
+      lo = std::lower_bound(lo, hi, key,
+                            [](const PackedRecord& rec, const ScenarioKey& k) {
+                              return rec.key < k;
+                            });
+      if (lo != hi && lo->key == key) {
+        if (auto entry = try_pack_locked(*lo, key)) {
+          ++counters_.pack_hits;
+          ++out.pack_hits;
+          out.entries[i] = std::move(*entry);
+          continue;
+        }
+      }
+    }
+    if (auto entry = try_loose_locked(key)) {
+      ++counters_.disk_hits;
+      ++out.loose_hits;
+      out.entries[i] = std::move(*entry);
+      continue;
+    }
     ++counters_.misses;
-    return std::nullopt;
+    ++out.misses;
   }
-  ++counters_.disk_hits;
-  record_hit_on_disk(entry_path(key));
-  memory_.emplace(key, *entry);
-  return entry;
+  return out;
 }
 
 void Store::put(const ScenarioKey& key, const Entry& entry) {
@@ -304,7 +441,31 @@ StoreCounters Store::counters() const {
 }
 
 std::vector<Store::FileInfo> Store::ls(const std::string& dir) {
-  std::vector<FileInfo> out;
+  std::map<ScenarioKey, FileInfo> by_key;
+  std::vector<FileInfo> unkeyed;  // stems that do not parse as keys
+
+  if (const auto packs = PackSet::open(dir)) {
+    const auto hit_log = read_hit_log(dir);
+    const auto now_s = now_epoch_seconds();
+    for (const auto& rec : packs->records()) {
+      FileInfo info;
+      info.key = rec.key;
+      info.kind = rec.kind;
+      info.packed = true;
+      info.bytes = rec.length;
+      info.age_seconds =
+          static_cast<double>(std::max<std::int64_t>(0, now_s - rec.mtime_s));
+      info.hits = rec.hits;
+      if (const auto it = hit_log.find(rec.key); it != hit_log.end())
+        info.hits += it->second;
+      const auto bytes = packs->bytes_of(rec);
+      ByteReader in(bytes);
+      info.valid = !bytes.empty() && pack_checksum(bytes) == rec.checksum &&
+                   decode_header(in, rec.key).has_value();
+      by_key.insert_or_assign(rec.key, info);
+    }
+  }
+
   for (const auto& path : entry_files(dir)) {
     FileInfo info;
     std::error_code ec;
@@ -312,18 +473,29 @@ std::vector<Store::FileInfo> Store::ls(const std::string& dir) {
     info.age_seconds = age_seconds_of(path);
     info.hits = hits_of(path);
     const auto key = key_from_stem(path.stem().string());
-    if (key) {
-      info.key = *key;
-      if (const auto bytes = read_file(path)) {
-        ByteReader in(*bytes);
-        if (const auto kind = decode_header(in, *key)) {
-          info.kind = *kind;
-          info.valid = true;
-        }
+    if (!key) {
+      unkeyed.push_back(info);
+      continue;
+    }
+    info.key = *key;
+    if (const auto bytes = read_file(path)) {
+      ByteReader in(*bytes);
+      if (const auto kind = decode_header(in, *key)) {
+        info.kind = *kind;
+        info.valid = true;
       }
     }
-    out.push_back(info);
+    // A loose duplicate of a packed entry (compaction crash window) is
+    // one logical entry: the loose copy — the write path — wins the
+    // listing, with both copies' hit counts summed.
+    if (const auto it = by_key.find(*key); it != by_key.end())
+      info.hits += it->second.hits;
+    by_key.insert_or_assign(*key, info);
   }
+
+  std::vector<FileInfo> out = std::move(unkeyed);
+  out.reserve(out.size() + by_key.size());
+  for (auto& [key, info] : by_key) out.push_back(std::move(info));
   std::sort(out.begin(), out.end(), [](const FileInfo& a, const FileInfo& b) {
     return a.key < b.key;
   });
@@ -351,6 +523,39 @@ std::size_t Store::prune(const std::string& dir, double max_age_days) {
       fs::remove(hits_path(path), ec);
     }
   }
+
+  if (const auto packs = PackSet::open(dir)) {
+    // Age and validity over the manifest records; dropping any rewrites
+    // the survivors into a fresh segment so the manifest never points at
+    // pruned bytes (and stale segments are reclaimed).
+    const auto hit_log = read_hit_log(dir);
+    const auto now_s = now_epoch_seconds();
+    std::vector<PackedRecord> keep;
+    bool dropped = false;
+    for (const auto& rec : packs->records()) {
+      // Manifest mtimes carry second resolution, so this age floors the
+      // true age (a loose file's fractional age always exceeds it). >=
+      // compensates: a record at exactly the cutoff — in particular any
+      // record under `prune 0` — drops, matching the loose path.
+      const auto age =
+          static_cast<double>(std::max<std::int64_t>(0, now_s - rec.mtime_s));
+      const auto bytes = packs->bytes_of(rec);
+      ByteReader in(bytes);
+      const bool valid = !bytes.empty() &&
+                         pack_checksum(bytes) == rec.checksum &&
+                         decode_header(in, rec.key).has_value();
+      if (!valid || age >= max_age_seconds) {
+        ++removed;
+        dropped = true;
+        continue;
+      }
+      auto survivor = rec;
+      if (const auto it = hit_log.find(rec.key); it != hit_log.end())
+        survivor.hits += it->second;
+      keep.push_back(survivor);
+    }
+    if (dropped) repack(dir, keep, *packs);
+  }
   return removed;
 }
 
@@ -361,6 +566,7 @@ std::size_t Store::clear(const std::string& dir) {
     if (fs::remove(path, ec) && !ec) ++removed;
     fs::remove(hits_path(path), ec);
   }
+  removed += remove_packs(dir);
   // Sweep now-empty shard directories so clear leaves a pristine tree.
   std::error_code ec;
   for (fs::directory_iterator it(dir, ec), end; !ec && it != end; ++it) {

@@ -9,6 +9,14 @@
 // processes, or a reader racing a writer see either the old complete
 // entry, the new complete entry, or a miss — never a torn file.
 //
+// Warm path: `nidt cache compact` consolidates loose entries into
+// memory-mapped pack segments indexed by a sorted manifest (see
+// cache/pack.hpp). Lookups consult the manifest first and decode straight
+// out of the mapping — no file open, no read, no byte copy — and fall
+// back to the loose file on any mismatch, so a stale or corrupt manifest
+// can only cost speed, never correctness. Loose files remain the write
+// path; the next compact folds them in.
+//
 // An in-process map fronts the disk: within one run, a key is decoded (or
 // computed) at most once, and repeated lookups — including in-flight
 // duplicates the experiment layer fans in — are memory hits.
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "cache/key.hpp"
+#include "cache/pack.hpp"
 #include "mining/relation.hpp"
 #include "obs/obs.hpp"
 #include "util/bytes.hpp"
@@ -83,11 +92,14 @@ std::optional<Entry> decode_entry(const ScenarioKey& expected,
 
 struct StoreCounters {
   std::uint64_t memory_hits = 0;
+  /// Served from a memory-mapped pack segment via the manifest.
+  std::uint64_t pack_hits = 0;
+  /// Served from a loose <2hex>/<key>.nidc file (the pre-pack path).
   std::uint64_t disk_hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
-  /// Files that existed but failed to decode (corruption, foreign format,
-  /// version skew). Treated as misses; never fatal.
+  /// Files or packed spans that existed but failed to decode (corruption,
+  /// foreign format, version skew). Treated as misses; never fatal.
   std::uint64_t bad_entries = 0;
 };
 
@@ -98,8 +110,29 @@ class Store {
 
   const std::string& dir() const { return dir_; }
 
-  /// Memory first, then disk (a disk hit is promoted into memory).
+  /// Memory first, then the pack manifest (mmap decode), then the loose
+  /// file. Loose hits are promoted into memory; pack hits are not —
+  /// re-decoding straight from the mapping is about as fast as a memory
+  /// copy would be, and skipping the promotion copy keeps the warm
+  /// lookup allocation-light.
   std::optional<Entry> get(const ScenarioKey& key);
+
+  /// Batched lookup: resolves every key against the manifest in one
+  /// sorted pass under a single lock, then falls back to loose files for
+  /// the rest. Entries come back in input order (nullopt = miss). This is
+  /// the experiment warm path — workers never touch the filesystem for a
+  /// key resolved here.
+  struct BatchResult {
+    std::vector<std::optional<Entry>> entries;  ///< input order
+    /// Hit split for telemetry, so warm-path regressions (pack lookups
+    /// silently degrading to loose reads) show up in --stats. Memory
+    /// hits count as loose_hits: memory entries only ever originate from
+    /// put() or a loose-file promotion.
+    std::uint64_t pack_hits = 0;
+    std::uint64_t loose_hits = 0;
+    std::uint64_t misses = 0;
+  };
+  BatchResult get_batch(std::span<const ScenarioKey> keys);
 
   /// Inserts into memory and persists to disk (atomic temp+rename). Disk
   /// I/O failures are swallowed: the cache degrades to memory-only rather
@@ -108,38 +141,61 @@ class Store {
 
   StoreCounters counters() const;
 
-  // ---- Maintenance (nidt cache ls/prune/clear) ----
+  // ---- Maintenance (nidt cache ls/prune/clear/compact) ----
 
   struct FileInfo {
     ScenarioKey key;
     PayloadKind kind = PayloadKind::kMinedRelations;
-    bool valid = false;          ///< header decoded and key matches name
+    bool valid = false;          ///< framing decoded and key matches
+    bool packed = false;         ///< lives in a pack segment, not a file
     std::uint64_t bytes = 0;
     double age_seconds = 0;      ///< since last modification
     /// Lifetime hit count (memory + disk) across every process that used
-    /// this entry — e.g. triage probes replaying audit results. Persisted
-    /// as a 1-byte-per-hit sidecar (<entry>.hits), so concurrent appends
-    /// never corrupt a count.
+    /// this entry — e.g. triage probes replaying audit results. Loose
+    /// entries persist it as a 1-byte-per-hit sidecar (<entry>.hits);
+    /// packed entries carry the compact-time total in the manifest plus
+    /// live appends in the packs/hits.nidl log.
     std::uint64_t hits = 0;
   };
 
-  /// Every *.nidc entry under `dir`, sorted by key hex.
+  /// Every entry under `dir`, sorted by key hex. Reads the manifest when
+  /// present (one file instead of a 256-shard scan) and folds in loose
+  /// entries written since the last compact; a key present both packed
+  /// and loose (compaction crash window) is listed once.
   static std::vector<FileInfo> ls(const std::string& dir);
 
   /// Deletes entries older than `max_age_days` (and any entry that fails
-  /// validation). Returns the number of files removed.
+  /// validation), loose and packed alike — dropping packed entries
+  /// rewrites the surviving records into a fresh pack + manifest, so the
+  /// manifest never points at pruned data. Returns entries removed.
   static std::size_t prune(const std::string& dir, double max_age_days);
 
-  /// Deletes every cache entry (and empty shard directories). Returns the
-  /// number of entry files removed.
+  /// Deletes every cache entry — loose files, pack segments, manifest,
+  /// hit log and empty shard directories. Returns entries removed.
   static std::size_t clear(const std::string& dir);
 
  private:
   std::string entry_path(const ScenarioKey& key) const;
 
+  /// Opens the pack set on first use (one manifest read + mmap per
+  /// process). Caller holds mutex_.
+  void ensure_packs_locked();
+  /// Re-opens the pack set iff the manifest changed on disk (a concurrent
+  /// `cache compact`). Called only after a full miss, so the stat cost
+  /// never touches the warm path. Returns true when a new set was loaded.
+  bool reopen_packs_if_changed_locked();
+  /// Decodes `rec` out of the mapping and logs the hit (no promotion).
+  std::optional<Entry> try_pack_locked(const PackedRecord& rec,
+                                       const ScenarioKey& key);
+  /// Reads + decodes the loose file, promotes and counts the hit.
+  std::optional<Entry> try_loose_locked(const ScenarioKey& key);
+
   std::string dir_;
   mutable std::mutex mutex_;
+  /// put() inserts and loose hits promote; pack hits never land here.
   std::map<ScenarioKey, Entry> memory_;
+  std::optional<PackSet> packs_;
+  bool packs_probed_ = false;
   StoreCounters counters_;
 };
 

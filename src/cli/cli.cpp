@@ -106,8 +106,10 @@ int usage(std::ostream& out) {
          "             each flag to a minimal repro, confirm by injection,\n"
          "             and rank incidents\n"
          "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3] [--jobs N]\n"
-         "  cache      ls|prune|clear  --cache-dir DIR [--max-age-days 30]\n"
-         "             [--json]\n"
+         "  cache      ls|prune|clear|compact  --cache-dir DIR\n"
+         "             [--max-age-days 30] [--json] : compact consolidates\n"
+         "             loose entries into mmap'd pack files + manifest for\n"
+         "             fast warm lookups; loose writes stay the write path\n"
          "  help\n"
          "\n"
          "  --jobs N parallelizes scenario execution over N workers\n"
@@ -731,16 +733,18 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
                                                           : "mined")
             << "\",\"bytes\":" << e.bytes << ",\"age_s\":" << e.age_seconds
             << ",\"hits\":" << e.hits
-            << ",\"valid\":" << (e.valid ? "true" : "false") << "}";
+            << ",\"src\":\"" << (e.packed ? "pack" : "loose")
+            << "\",\"valid\":" << (e.valid ? "true" : "false") << "}";
       }
       out << "]\n";
       return 0;
     }
-    out << "key kind bytes age_s hits valid\n";
+    out << "key kind bytes age_s hits src valid\n";
     for (const auto& e : entries) {
       out << e.key.hex() << ' '
           << (e.kind == cache::PayloadKind::kSweepStats ? "sweep" : "mined")
           << ' ' << e.bytes << ' ' << e.age_seconds << ' ' << e.hits << ' '
+          << (e.packed ? "pack" : "loose") << ' '
           << (e.valid ? "yes" : "NO") << '\n';
     }
     out << entries.size() << " entries\n";
@@ -762,7 +766,23 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
     out << "cleared " << removed << " entries\n";
     return 0;
   }
-  err << "unknown cache action: " << action << " (try ls, prune, clear)\n";
+  if (action == "compact") {
+    const auto result = cache::compact(dir);
+    if (!result) {
+      err << "compact failed: cannot write " << dir << "/"
+          << cache::kPacksDirName << "\n";
+      return 2;
+    }
+    out << "packed " << result->packed << " loose entries, carried "
+        << result->carried << " packed entries";
+    if (result->skipped) out << ", skipped " << result->skipped << " invalid";
+    out << "\n"
+        << result->entries << " entries in " << result->segments
+        << " segments (" << result->bytes << " bytes)\n";
+    return 0;
+  }
+  err << "unknown cache action: " << action
+      << " (try ls, prune, clear, compact)\n";
   return 2;
 }
 

@@ -57,22 +57,45 @@ std::vector<cache::Entry> run_cached(
   for (const auto& j : jobs)
     keys.push_back(cache::scenario_key(j.scenario, j.miner, scheme_id, kind));
 
-  // Triage in canonical order: owner jobs (first occurrence of a key) are
-  // looked up and, on miss, queued; later duplicates fan in afterwards.
+  // Triage in canonical order: owner jobs (first occurrence of a key)
+  // resolve against the store; later duplicates fan in afterwards.
   std::map<cache::ScenarioKey, std::size_t> owner_of;
-  std::vector<std::size_t> to_run;
-  std::vector<bool> resolved(jobs.size(), false);
-  std::uint64_t hits = 0;
+  std::vector<std::size_t> owners;
   std::uint64_t dedup = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const auto [it, inserted] = owner_of.try_emplace(keys[i], i);
-    if (!inserted) {
+    if (inserted)
+      owners.push_back(i);
+    else
       ++dedup;
-      continue;
-    }
-    obs::Span lookup("cache-lookup", jobs[i].label);
-    if (auto entry = store->get(keys[i])) {
-      results[i] = std::move(*entry);
+  }
+
+  // One batched lookup for the whole owner set: the store resolves every
+  // key against the pack manifest in a single sorted pass, then falls
+  // back to loose files — workers dispatched below never touch the
+  // filesystem for a key resolved here.
+  std::vector<cache::ScenarioKey> owner_keys;
+  owner_keys.reserve(owners.size());
+  for (const auto i : owners) owner_keys.push_back(keys[i]);
+  cache::Store::BatchResult batch;
+  {
+    obs::Span lookup("cache-lookup", "batch");
+    batch = store->get_batch(owner_keys);
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::instance();
+    reg.observe_wall("cache.pack_hits", batch.pack_hits);
+    reg.observe_wall("cache.loose_hits", batch.loose_hits);
+    reg.observe_wall("cache.misses", batch.misses);
+  }
+
+  std::vector<std::size_t> to_run;
+  std::vector<bool> resolved(jobs.size(), false);
+  std::uint64_t hits = 0;
+  for (std::size_t k = 0; k < owners.size(); ++k) {
+    const std::size_t i = owners[k];
+    if (batch.entries[k]) {
+      results[i] = std::move(*batch.entries[k]);
       resolved[i] = true;
       ++hits;
     } else {
@@ -107,6 +130,8 @@ std::vector<cache::Entry> run_cached(
     ExecReport delta = executor.report();
     delta.cache_enabled = true;
     delta.cache_hits = hits;
+    delta.cache_pack_hits = batch.pack_hits;
+    delta.cache_loose_hits = batch.loose_hits;
     delta.cache_misses = to_run.size();
     delta.cache_dedup = dedup;
     delta.cache_stores = to_run.size();

@@ -14,6 +14,8 @@ void ExecReport::accumulate(const ExecReport& other) {
   wall_ms += other.wall_ms;
   cache_enabled = cache_enabled || other.cache_enabled;
   cache_hits += other.cache_hits;
+  cache_pack_hits += other.cache_pack_hits;
+  cache_loose_hits += other.cache_loose_hits;
   cache_misses += other.cache_misses;
   cache_dedup += other.cache_dedup;
   cache_stores += other.cache_stores;
@@ -27,9 +29,10 @@ std::string ExecReport::to_json() const {
   os << "{\"jobs\":" << jobs << ",\"max_queue_depth\":" << max_queue_depth
      << ",\"tasks_run\":" << tasks_run << ",\"wall_ms\":" << wall_ms;
   if (cache_enabled) {
-    os << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":"
-       << cache_misses << ",\"in_flight_dedup\":" << cache_dedup
-       << ",\"stores\":" << cache_stores << "}";
+    os << ",\"cache\":{\"hits\":" << cache_hits << ",\"pack_hits\":"
+       << cache_pack_hits << ",\"loose_hits\":" << cache_loose_hits
+       << ",\"misses\":" << cache_misses << ",\"in_flight_dedup\":"
+       << cache_dedup << ",\"stores\":" << cache_stores << "}";
   }
   if (obs::enabled())
     os << ",\"metrics\":" << obs::Registry::instance().headline_json();

@@ -51,6 +51,12 @@ struct ExecReport {
   // to_json omits the cache object entirely.
   bool cache_enabled = false;
   std::uint64_t cache_hits = 0;    ///< scenarios served from the cache
+  /// Hit split by storage layer: pack = served via the mmap'd manifest
+  /// path, loose = read from a <2hex>/<key>.nidc file. pack + loose ==
+  /// hits; a warm run whose pack_hits collapse to loose_hits has silently
+  /// lost its compacted fast path — visible here and in --stats.
+  std::uint64_t cache_pack_hits = 0;
+  std::uint64_t cache_loose_hits = 0;
   std::uint64_t cache_misses = 0;  ///< scenarios simulated (and stored)
   /// Scenarios whose key duplicated an earlier scenario of the same
   /// fan-out: computed (or fetched) once, fanned in to every duplicate.
@@ -62,7 +68,8 @@ struct ExecReport {
   void accumulate(const ExecReport& other);
 
   /// {"jobs":N,"max_queue_depth":...,"tasks_run":...,"wall_ms":...,
-  ///  "cache":{"hits":...,"misses":...,"in_flight_dedup":...,"stores":...},
+  ///  "cache":{"hits":...,"pack_hits":...,"loose_hits":...,"misses":...,
+  ///           "in_flight_dedup":...,"stores":...},
   ///  "scenarios":[{"index":i,"label":"...","wall_ms":...},...]}
   /// The cache object appears only when cache_enabled; a "metrics"
   /// headline object is appended when the obs registry is live.

@@ -20,22 +20,44 @@ bool earlier_evidence(SimTime when, std::size_t stimulus_index,
   return response_index < stats.example_response;
 }
 
+RelationSet::CellTable::iterator lower_bound_cell(RelationSet::CellTable& table,
+                                                  const RelationCell& cell) {
+  return std::lower_bound(
+      table.begin(), table.end(), cell,
+      [](const auto& entry, const RelationCell& c) { return entry.first < c; });
+}
+
+/// Folds `stats` into `into` (same cell observed again): counts add, the
+/// canonically earliest evidence survives.
+void fold_stats(const RelationStats& stats, RelationStats& into) {
+  into.count += stats.count;
+  if (earlier_evidence(stats.first_seen, stats.example_stimulus,
+                       stats.example_response, into)) {
+    into.first_seen = stats.first_seen;
+    into.example_stimulus = stats.example_stimulus;
+    into.example_response = stats.example_response;
+  }
+}
+
 }  // namespace
 
 void RelationSet::add(RelationDirection dir, const RelationCell& cell,
                       SimTime when, std::size_t stimulus_index,
                       std::size_t response_index) {
-  auto& table = dir == RelationDirection::kSendToRecv ? send_to_recv_
-                                                      : recv_to_send_;
-  auto [it, inserted] = table.try_emplace(cell);
-  auto& stats = it->second;
-  if (inserted ||
-      earlier_evidence(when, stimulus_index, response_index, stats)) {
-    stats.first_seen = when;
-    stats.example_stimulus = stimulus_index;
-    stats.example_response = response_index;
+  auto& t = table(dir);
+  auto it = lower_bound_cell(t, cell);
+  if (it == t.end() || it->first != cell) {
+    it = t.emplace(it, cell, RelationStats{});
+    it->second.first_seen = when;
+    it->second.example_stimulus = stimulus_index;
+    it->second.example_response = response_index;
+  } else if (earlier_evidence(when, stimulus_index, response_index,
+                              it->second)) {
+    it->second.first_seen = when;
+    it->second.example_stimulus = stimulus_index;
+    it->second.example_response = response_index;
   }
-  ++stats.count;
+  ++it->second.count;
 }
 
 bool RelationSet::has(RelationDirection dir, const std::string& stimulus,
@@ -45,34 +67,64 @@ bool RelationSet::has(RelationDirection dir, const std::string& stimulus,
 
 const RelationStats* RelationSet::find(RelationDirection dir,
                                        const RelationCell& cell) const {
-  const auto& table = dir == RelationDirection::kSendToRecv ? send_to_recv_
-                                                            : recv_to_send_;
-  auto it = table.find(cell);
-  return it == table.end() ? nullptr : &it->second;
+  const auto& t = cells(dir);
+  const auto it = std::lower_bound(
+      t.begin(), t.end(), cell,
+      [](const auto& entry, const RelationCell& c) { return entry.first < c; });
+  return it == t.end() || it->first != cell ? nullptr : &it->second;
 }
 
 void RelationSet::merge(const RelationSet& other) {
   for (const auto dir :
        {RelationDirection::kSendToRecv, RelationDirection::kRecvToSend}) {
-    for (const auto& [cell, stats] : other.cells(dir))
-      add_stats(dir, cell, stats);
+    const auto& src = other.cells(dir);
+    if (src.empty()) continue;
+    auto& dst = table(dir);
+    if (dst.empty()) {
+      dst = src;
+      continue;
+    }
+    // Linear merge of two sorted tables — O(n + m) instead of m
+    // individual binary-search inserts.
+    CellTable merged;
+    merged.reserve(dst.size() + src.size());
+    auto a = dst.begin();
+    auto b = src.begin();
+    while (a != dst.end() && b != src.end()) {
+      if (a->first < b->first) {
+        merged.push_back(std::move(*a++));
+      } else if (b->first < a->first) {
+        merged.push_back(*b++);
+      } else {
+        merged.push_back(std::move(*a++));
+        fold_stats(b++->second, merged.back().second);
+      }
+    }
+    merged.insert(merged.end(), std::make_move_iterator(a),
+                  std::make_move_iterator(dst.end()));
+    merged.insert(merged.end(), b, src.end());
+    dst = std::move(merged);
   }
 }
 
 void RelationSet::add_stats(RelationDirection dir, const RelationCell& cell,
                             const RelationStats& stats) {
-  auto& table = dir == RelationDirection::kSendToRecv ? send_to_recv_
-                                                      : recv_to_send_;
-  auto [it, inserted] = table.try_emplace(cell, stats);
-  if (!inserted) {
-    it->second.count += stats.count;
-    if (earlier_evidence(stats.first_seen, stats.example_stimulus,
-                         stats.example_response, it->second)) {
-      it->second.first_seen = stats.first_seen;
-      it->second.example_stimulus = stats.example_stimulus;
-      it->second.example_response = stats.example_response;
-    }
+  auto& t = table(dir);
+  auto it = lower_bound_cell(t, cell);
+  if (it == t.end() || it->first != cell)
+    t.emplace(it, cell, stats);
+  else
+    fold_stats(stats, it->second);
+}
+
+void RelationSet::append_sorted(RelationDirection dir, RelationCell&& cell,
+                                const RelationStats& stats) {
+  auto& t = table(dir);
+  if (t.empty() || t.back().first < cell) {
+    t.emplace_back(std::move(cell), stats);
+    return;
   }
+  add_stats(dir, cell, stats);
 }
 
 std::set<std::string> RelationSet::stimulus_labels() const {

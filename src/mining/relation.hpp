@@ -46,6 +46,14 @@ struct RelationCell {
 
 class RelationSet {
  public:
+  /// Cells of one direction, sorted by cell label pair. A flat sorted
+  /// vector rather than a std::map: relation sets are small (tens of
+  /// cells), read-heavy, and decoded from the result cache on the warm
+  /// path, where per-node allocation dominated the lookup cost. Iteration
+  /// order is identical to the map it replaced, so every canonical-order
+  /// merge and report stays bit-identical.
+  using CellTable = std::vector<std::pair<RelationCell, RelationStats>>;
+
   void add(RelationDirection dir, const RelationCell& cell, SimTime when,
            std::size_t stimulus_index, std::size_t response_index);
 
@@ -71,8 +79,18 @@ class RelationSet {
   void add_stats(RelationDirection dir, const RelationCell& cell,
                  const RelationStats& stats);
 
-  const std::map<RelationCell, RelationStats>& cells(
-      RelationDirection dir) const {
+  /// Codec fast path: appends a cell known to sort strictly after every
+  /// cell already in `dir` — the serialized form is written in canonical
+  /// order, so deserialization is a straight append with no search.
+  /// Degrades to add_stats() when the input is not actually sorted
+  /// (corrupted bytes), preserving set semantics either way.
+  void append_sorted(RelationDirection dir, RelationCell&& cell,
+                     const RelationStats& stats);
+
+  /// Pre-sizes one direction's table (decode knows the cell count).
+  void reserve(RelationDirection dir, std::size_t n) { table(dir).reserve(n); }
+
+  const CellTable& cells(RelationDirection dir) const {
     return dir == RelationDirection::kSendToRecv ? send_to_recv_
                                                  : recv_to_send_;
   }
@@ -87,8 +105,13 @@ class RelationSet {
   }
 
  private:
-  std::map<RelationCell, RelationStats> send_to_recv_;
-  std::map<RelationCell, RelationStats> recv_to_send_;
+  CellTable& table(RelationDirection dir) {
+    return dir == RelationDirection::kSendToRecv ? send_to_recv_
+                                                 : recv_to_send_;
+  }
+
+  CellTable send_to_recv_;
+  CellTable recv_to_send_;
 };
 
 /// The paper's §2 formalization, made explicit: for each stimulus class,

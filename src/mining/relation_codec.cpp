@@ -51,6 +51,11 @@ std::uint64_t read_u64(ByteReader& in) {
 bool decode_direction(ByteReader& in, RelationDirection dir,
                       RelationSet& set) {
   const std::uint32_t count = in.u32();
+  // Cells were encoded in canonical (sorted) order, so decoding is a
+  // reserve + straight appends — no per-cell search or reallocation. The
+  // count is bounds-sanity-checked against the remaining bytes before
+  // reserving so a corrupted length can't trigger a huge allocation.
+  if (in.ok() && count <= in.remaining() / 8) set.reserve(dir, count);
   for (std::uint32_t i = 0; in.ok() && i < count; ++i) {
     RelationCell cell;
     if (!decode_label(in, cell.stimulus)) return false;
@@ -61,7 +66,7 @@ bool decode_direction(ByteReader& in, RelationDirection dir,
     stats.example_stimulus = static_cast<std::size_t>(read_u64(in));
     stats.example_response = static_cast<std::size_t>(read_u64(in));
     if (!in.ok()) return false;
-    set.add_stats(dir, cell, stats);
+    set.append_sorted(dir, std::move(cell), stats);
   }
   return in.ok();
 }

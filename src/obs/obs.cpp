@@ -99,6 +99,14 @@ void ScenarioMetrics::set(std::string_view name, std::uint64_t value) {
   entries_.emplace(it, std::string(name), value);
 }
 
+void ScenarioMetrics::append_sorted(std::string&& name, std::uint64_t value) {
+  if (entries_.empty() || entries_.back().first < name) {
+    entries_.emplace_back(std::move(name), value);
+    return;
+  }
+  set(name, value);
+}
+
 std::uint64_t ScenarioMetrics::get(std::string_view name) const {
   const auto it = std::lower_bound(
       entries_.begin(), entries_.end(), name,

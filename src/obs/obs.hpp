@@ -88,6 +88,15 @@ class ScenarioMetrics {
   /// Inserts or overwrites `name`. Keeps entries sorted.
   void set(std::string_view name, std::uint64_t value);
 
+  /// Codec fast path: appends an entry known to sort strictly after every
+  /// existing one (the serialized form is written in sorted order), with
+  /// no search or shift. Degrades to set() when the input is not actually
+  /// sorted, preserving the invariant either way.
+  void append_sorted(std::string&& name, std::uint64_t value);
+
+  /// Pre-sizes the entry table (decode knows the count up front).
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   /// Value of `name`, or 0 when absent.
   std::uint64_t get(std::string_view name) const;
 
