@@ -169,6 +169,8 @@ void BgpRouter::handle_keepalive(Peer& peer) {
 
 void BgpRouter::set_session_state(Peer& peer, SessionState to) {
   if (peer.state == to) return;
+  stats_.fsm_edge_mask |= 1ull << (static_cast<unsigned>(peer.state) * 8 +
+                                   static_cast<unsigned>(to));
   peer.state = to;
   ++stats_.fsm_transitions;
 }

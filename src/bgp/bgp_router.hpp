@@ -124,6 +124,9 @@ class BgpRouter {
     std::uint64_t routes_selected = 0;
     /// Session FSM state changes (any `state` reassignment to a new value).
     std::uint64_t fsm_transitions = 0;
+    /// Behavioral coverage mask (cov subsystem): bit from*8+to set for
+    /// every session FSM edge taken.
+    std::uint64_t fsm_edge_mask = 0;
   };
   const Stats& stats() const { return stats_; }
 

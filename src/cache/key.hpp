@@ -33,7 +33,7 @@ namespace nidkit::cache {
 /// Bump on any change to the key derivation or the on-disk entry
 /// encoding. Old entries then simply miss (different key → different
 /// file name); no migration logic is ever needed.
-inline constexpr std::uint32_t kCacheFormatVersion = 2;
+inline constexpr std::uint32_t kCacheFormatVersion = 3;
 
 /// What the cached entry holds. Folded into the key so the two payload
 /// shapes mined from one scenario (full relation set vs. sweep accuracy

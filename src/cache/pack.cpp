@@ -525,7 +525,14 @@ std::optional<CompactResult> compact(const std::string& dir) {
     auto bytes = key ? read_file(path) : std::nullopt;
     const auto entry = bytes ? decode_entry(*key, *bytes) : std::nullopt;
     if (!entry) {
-      ++result.skipped;
+      // Distinguish version skew (readable framing, other format) from
+      // corruption: skewed entries are expected after a format bump and
+      // deserve their own count in the compact summary.
+      const std::uint32_t format = bytes ? peek_entry_format(*bytes) : 0;
+      if (format != 0 && format != kCacheFormatVersion)
+        ++result.skipped_version;
+      else
+        ++result.skipped;
       continue;
     }
     LooseEntry le;

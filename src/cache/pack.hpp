@@ -151,6 +151,10 @@ struct CompactResult {
   std::size_t packed = 0;    ///< loose entries consolidated this pass
   std::size_t carried = 0;   ///< previously packed entries re-indexed
   std::size_t skipped = 0;   ///< loose files that failed validation
+  /// Loose files with intact framing but a different entry format
+  /// version (counted separately from corruption so `cache compact` can
+  /// report version skew instead of silently leaving them loose).
+  std::size_t skipped_version = 0;
   std::size_t segments = 0;  ///< pack segments referenced afterwards
   std::size_t entries = 0;   ///< manifest records afterwards
   std::uint64_t bytes = 0;   ///< packed payload bytes afterwards

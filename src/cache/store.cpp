@@ -119,6 +119,24 @@ std::optional<obs::ScenarioMetrics> decode_metrics(ByteReader& in) {
   return m;
 }
 
+void encode_coverage(const cov::CoverageVector& cv, ByteWriter& out) {
+  out.u32(static_cast<std::uint32_t>(cv.ids().size()));
+  for (const cov::FeatureId id : cv.ids()) out.u32(id);
+}
+
+std::optional<cov::CoverageVector> decode_coverage(ByteReader& in) {
+  cov::CoverageVector cv;
+  const std::uint32_t count = in.u32();
+  if (!in.ok()) return std::nullopt;
+  // Count sanity-checked against remaining bytes before reserving.
+  if (count > in.remaining() / 4) return std::nullopt;
+  cv.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) cv.add(in.u32());
+  if (!in.ok()) return std::nullopt;
+  cv.finalize();  // canonical form regardless of what was on disk
+  return cv;
+}
+
 SweepStats decode_sweep(ByteReader& in) {
   SweepStats s;
   s.mined_pairs = read_u64(in);
@@ -221,6 +239,7 @@ std::vector<std::uint8_t> encode_entry(const ScenarioKey& key,
   out.u8(static_cast<std::uint8_t>(entry.kind));
   encode_summary(entry.summary, out);
   encode_metrics(entry.metrics, out);
+  encode_coverage(entry.coverage, out);
   if (entry.kind == PayloadKind::kMinedRelations)
     mining::encode_relations(entry.relations, out);
   else
@@ -240,6 +259,9 @@ std::optional<Entry> decode_entry(const ScenarioKey& expected,
   auto metrics = decode_metrics(in);
   if (!metrics) return std::nullopt;
   entry.metrics = std::move(*metrics);
+  auto coverage = decode_coverage(in);
+  if (!coverage) return std::nullopt;
+  entry.coverage = std::move(*coverage);
   if (entry.kind == PayloadKind::kMinedRelations) {
     auto relations = mining::decode_relations(in);
     if (!relations) return std::nullopt;
@@ -249,6 +271,13 @@ std::optional<Entry> decode_entry(const ScenarioKey& expected,
   }
   if (!in.ok() || in.remaining() != 0) return std::nullopt;
   return entry;
+}
+
+std::uint32_t peek_entry_format(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  if (in.u32() != kMagic) return 0;
+  const std::uint32_t version = in.u32();
+  return in.ok() ? version : 0;
 }
 
 Store::Store(std::string dir) : dir_(std::move(dir)) {}
@@ -460,6 +489,7 @@ std::vector<Store::FileInfo> Store::ls(const std::string& dir) {
         info.hits += it->second;
       const auto bytes = packs->bytes_of(rec);
       ByteReader in(bytes);
+      info.format = peek_entry_format(bytes);
       info.valid = !bytes.empty() && pack_checksum(bytes) == rec.checksum &&
                    decode_header(in, rec.key).has_value();
       by_key.insert_or_assign(rec.key, info);
@@ -480,6 +510,7 @@ std::vector<Store::FileInfo> Store::ls(const std::string& dir) {
     info.key = *key;
     if (const auto bytes = read_file(path)) {
       ByteReader in(*bytes);
+      info.format = peek_entry_format(*bytes);
       if (const auto kind = decode_header(in, *key)) {
         info.kind = *kind;
         info.valid = true;

@@ -32,6 +32,7 @@
 
 #include "cache/key.hpp"
 #include "cache/pack.hpp"
+#include "cov/cov.hpp"
 #include "mining/relation.hpp"
 #include "obs/obs.hpp"
 #include "util/bytes.hpp"
@@ -79,6 +80,9 @@ struct Entry {
   /// Deterministic per-scenario metric deltas, preserved so a warm cache
   /// run replays exactly the metrics the original run produced.
   obs::ScenarioMetrics metrics;
+  /// Canonical behavioral-coverage feature set (sorted unique ids),
+  /// replayed on hits the same way the metrics are.
+  cov::CoverageVector coverage;
 };
 
 /// Serializes an entry with its file framing (magic, version, key echo).
@@ -89,6 +93,12 @@ std::vector<std::uint8_t> encode_entry(const ScenarioKey& key,
 /// Returns nullopt on any mismatch, truncation or trailing garbage.
 std::optional<Entry> decode_entry(const ScenarioKey& expected,
                                   std::span<const std::uint8_t> bytes);
+
+/// Reads just the format-version field out of an encoded entry's framing.
+/// Returns the version when the magic matches, 0 otherwise (foreign or
+/// corrupt bytes). Lets maintenance commands distinguish version skew
+/// from corruption without a full decode.
+std::uint32_t peek_entry_format(std::span<const std::uint8_t> bytes);
 
 struct StoreCounters {
   std::uint64_t memory_hits = 0;
@@ -148,6 +158,8 @@ class Store {
     PayloadKind kind = PayloadKind::kMinedRelations;
     bool valid = false;          ///< framing decoded and key matches
     bool packed = false;         ///< lives in a pack segment, not a file
+    /// On-disk entry format version (0 when the magic is unreadable).
+    std::uint32_t format = 0;
     std::uint64_t bytes = 0;
     double age_seconds = 0;      ///< since last modification
     /// Lifetime hit count (memory + disk) across every process that used

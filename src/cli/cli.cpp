@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cache/store.hpp"
+#include "cov/cov.hpp"
 #include "detect/json.hpp"
 #include "detect/report.hpp"
 #include "harness/experiment.hpp"
@@ -106,6 +107,10 @@ int usage(std::ostream& out) {
          "             each flag to a minimal repro, confirm by injection,\n"
          "             and rank incidents\n"
          "  stability  [--impl frr] [--scheme type] [--seeds 1,2,3] [--jobs N]\n"
+         "  coverage   [audit flags] [--format text|json] : run the audit\n"
+         "             with behavioral-coverage collection enabled and\n"
+         "             report the accumulated feature map, per-class\n"
+         "             saturation and the features-seen curve\n"
          "  cache      ls|prune|clear|compact  --cache-dir DIR\n"
          "             [--max-age-days 30] [--json] : compact consolidates\n"
          "             loose entries into mmap'd pack files + manifest for\n"
@@ -128,7 +133,10 @@ int usage(std::ostream& out) {
          "  (bit-identical for every --jobs value and cache temperature);\n"
          "  the \"wall\" section holds wall-clock histograms and span\n"
          "  counts. --trace-out FILE writes a Chrome trace-event JSON of\n"
-         "  the run's phase spans — open it in ui.perfetto.dev.\n";
+         "  the run's phase spans — open it in ui.perfetto.dev.\n"
+         "  --coverage-out FILE (audit/sweep/triage/stability) writes a\n"
+         "  behavioral-coverage snapshot; its \"cov\" section is one line\n"
+         "  and deterministic, like the metrics \"sim\" section.\n";
   return 0;
 }
 
@@ -269,20 +277,27 @@ bool write_stats_file(const Args& args, const harness::ExecReport& exec,
   return true;
 }
 
-/// Scoped obs-registry session for one command: when --metrics-out or
-/// --trace-out is given, resets the registry and enables collection; on
+/// Scoped obs/cov session for one command: when --metrics-out or
+/// --trace-out is given, resets the obs registry and enables collection;
+/// when --coverage-out is given, does the same for the coverage map. On
 /// finish() writes the requested files and restores the previous enabled
-/// state (run_cli is re-entrant — tests share one process).
+/// states (run_cli is re-entrant — tests share one process).
 class ObsSession {
  public:
   ObsSession(const Args& args, std::ostream& err)
       : metrics_path_(args.get("metrics-out", "")),
         trace_path_(args.get("trace-out", "")),
+        coverage_path_(args.get("coverage-out", "")),
         err_(err),
-        was_enabled_(obs::enabled()) {
+        was_enabled_(obs::enabled()),
+        cov_was_enabled_(cov::enabled()) {
     if (active()) {
       obs::Registry::instance().reset();
       obs::set_enabled(true);
+    }
+    if (cov_active()) {
+      cov::CoverageMap::instance().reset();
+      cov::set_enabled(true);
     }
   }
 
@@ -290,17 +305,20 @@ class ObsSession {
   ObsSession& operator=(const ObsSession&) = delete;
 
   ~ObsSession() {
-    if (active() && !finished_) obs::set_enabled(was_enabled_);
+    if (finished_) return;
+    if (active()) obs::set_enabled(was_enabled_);
+    if (cov_active()) cov::set_enabled(cov_was_enabled_);
   }
 
   bool active() const {
     return !metrics_path_.empty() || !trace_path_.empty();
   }
+  bool cov_active() const { return !coverage_path_.empty(); }
 
-  /// Writes the requested output files and restores the enabled state.
+  /// Writes the requested output files and restores the enabled states.
   /// Returns false after reporting any I/O failure.
   bool finish() {
-    if (!active() || finished_) return true;
+    if ((!active() && !cov_active()) || finished_) return true;
     finished_ = true;
     bool ok = true;
     if (!metrics_path_.empty()) {
@@ -321,15 +339,27 @@ class ObsSession {
         obs::Registry::instance().write_trace_json(file);
       }
     }
-    obs::set_enabled(was_enabled_);
+    if (!coverage_path_.empty()) {
+      std::ofstream file(coverage_path_);
+      if (!file) {
+        err_ << "cannot open " << coverage_path_ << "\n";
+        ok = false;
+      } else {
+        file << cov::CoverageMap::instance().coverage_json();
+      }
+    }
+    if (active()) obs::set_enabled(was_enabled_);
+    if (cov_active()) cov::set_enabled(cov_was_enabled_);
     return ok;
   }
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string coverage_path_;
   std::ostream& err_;
   bool was_enabled_;
+  bool cov_was_enabled_;
   bool finished_ = false;
 };
 
@@ -712,6 +742,51 @@ int cmd_stability(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_coverage(const Args& args, std::ostream& out, std::ostream& err) {
+  // Runs the audit pipeline with behavioral-coverage collection enabled
+  // and reports the accumulated map. The audit's own report is discarded
+  // — `nidt audit --coverage-out` keeps both. Everything printed here is
+  // derived from the canonically merged CoverageMap, so the report is
+  // byte-identical for every --jobs value and cache temperature.
+  auto& map = cov::CoverageMap::instance();
+  const bool prior = cov::enabled();
+  if (!prior) {
+    map.reset();
+    cov::set_enabled(true);
+  }
+  std::ostringstream sink;
+  const int rc = cmd_audit(args, sink, err);
+  if (rc != 0) {
+    if (!prior) cov::set_enabled(false);
+    return rc;
+  }
+  if (args.get("format", "text") == "json") {
+    out << map.coverage_json();
+  } else {
+    out << "coverage: " << map.features_seen() << "/" << cov::universe_size()
+        << " features over " << map.scenarios() << " scenarios\n";
+    static constexpr struct {
+      cov::FeatureClass cls;
+      const char* name;
+    } kRows[] = {{cov::FeatureClass::kFsmEdge, "fsm"},
+                 {cov::FeatureClass::kPacketPair, "pair"},
+                 {cov::FeatureClass::kPathMarker, "path"},
+                 {cov::FeatureClass::kLsaLifecycle, "lsa"},
+                 {cov::FeatureClass::kChaos, "chaos"}};
+    for (const auto& row : kRows) {
+      out << "  " << row.name << " " << map.class_seen(row.cls) << "/"
+          << cov::universe_size(row.cls) << "\n";
+    }
+    out << "saturation:";
+    for (const auto v : map.curve()) out << ' ' << v;
+    out << "\nfeatures:\n";
+    for (const auto id : map.seen_ids())
+      out << "  " << cov::feature_name(id) << "\n";
+  }
+  if (!prior) cov::set_enabled(false);
+  return 0;
+}
+
 int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string dir = resolve_cache_dir(args);
   if (dir.empty()) {
@@ -731,7 +806,8 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
         out << "{\"key\":\"" << e.key.hex() << "\",\"kind\":\""
             << (e.kind == cache::PayloadKind::kSweepStats ? "sweep"
                                                           : "mined")
-            << "\",\"bytes\":" << e.bytes << ",\"age_s\":" << e.age_seconds
+            << "\",\"format\":" << e.format
+            << ",\"bytes\":" << e.bytes << ",\"age_s\":" << e.age_seconds
             << ",\"hits\":" << e.hits
             << ",\"src\":\"" << (e.packed ? "pack" : "loose")
             << "\",\"valid\":" << (e.valid ? "true" : "false") << "}";
@@ -776,6 +852,9 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
     out << "packed " << result->packed << " loose entries, carried "
         << result->carried << " packed entries";
     if (result->skipped) out << ", skipped " << result->skipped << " invalid";
+    if (result->skipped_version)
+      out << ", skipped " << result->skipped_version
+          << " for format-version skew";
     out << "\n"
         << result->entries << " entries in " << result->segments
         << " segments (" << result->bytes << " bytes)\n";
@@ -817,6 +896,9 @@ int run_cli(const std::vector<std::string>& tokens, std::ostream& out,
   if (args->command == "stability")
     return with_obs(*args, err,
                     [&] { return cmd_stability(*args, out, err); });
+  if (args->command == "coverage")
+    return with_obs(*args, err,
+                    [&] { return cmd_coverage(*args, out, err); });
   if (args->command == "cache") return cmd_cache(*args, out, err);
   err << "unknown command: " << args->command << " (try `nidt help`)\n";
   return 2;

@@ -3,6 +3,7 @@
 #include <map>
 #include <utility>
 
+#include "cov/cov.hpp"
 #include "obs/obs.hpp"
 
 namespace nidkit::harness {
@@ -17,6 +18,28 @@ void merge_metrics(const std::vector<cache::Entry>& results) {
   if (!obs::enabled()) return;
   auto& reg = obs::Registry::instance();
   for (const auto& entry : results) reg.merge_scenario(entry.metrics);
+}
+
+/// Same canonical-order discipline for behavioral coverage: every entry's
+/// vector — fresh or replayed from the cache — folds into the global
+/// CoverageMap on the calling thread, so the seen set, novelty scores and
+/// saturation curve are bit-identical for any --jobs value and any cache
+/// temperature.
+void merge_coverage(const std::vector<cache::Entry>& results,
+                    ExecReport* exec) {
+  if (!cov::enabled()) return;
+  auto& map = cov::CoverageMap::instance();
+  std::uint64_t features = 0;
+  std::uint64_t novel = 0;
+  for (const auto& entry : results) {
+    features += entry.coverage.ids().size();
+    novel += map.merge_scenario(entry.coverage);
+  }
+  if (exec) {
+    exec->cov_enabled = true;
+    exec->cov_features += features;
+    exec->cov_novel += novel;
+  }
 }
 
 }  // namespace
@@ -48,6 +71,7 @@ std::vector<cache::Entry> run_cached(
         jobs.size(), labels, [&](std::size_t i) { return compute(jobs[i]); });
     if (exec) exec->accumulate(executor.report());
     merge_metrics(results);
+    merge_coverage(results, exec);
     return results;
   }
 
@@ -138,6 +162,7 @@ std::vector<cache::Entry> run_cached(
     exec->accumulate(delta);
   }
   merge_metrics(results);
+  merge_coverage(results, exec);
   return results;
 }
 

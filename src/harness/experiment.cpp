@@ -50,6 +50,7 @@ std::vector<mining::RelationSet> mine_jobs(const std::vector<CachedJob>& jobs,
           const ScenarioResult run = run_scenario(job.scenario);
           entry.summary = summarize(run);
           entry.metrics = run.metrics;
+          entry.coverage = run.coverage;
           span.finish();
           obs::Span mine_span("mine", job.label);
           entry.relations = miner.mine(run.log, scheme);
@@ -254,6 +255,7 @@ std::vector<SweepPoint> tdelay_sweep(const ospf::BehaviorProfile& profile,
         entry.kind = cache::PayloadKind::kSweepStats;
         entry.summary = summarize(run);
         entry.metrics = run.metrics;
+        entry.coverage = run.coverage;
         entry.sweep.mined_pairs = acc.mined;
         entry.sweep.truth_pairs = acc.truth;
         entry.sweep.correct_pairs = acc.correct;

@@ -152,6 +152,10 @@ ScenarioResult run_scenario(const Scenario& scenario, Workspace& ws) {
       result.ospf_totals.decode_failures += s.decode_failures;
       result.ospf_totals.auth_failures += s.auth_failures;
       result.ospf_totals.fsm_transitions += s.fsm_transitions;
+      result.ospf_totals.fsm_edge_mask |= s.fsm_edge_mask;
+      result.ospf_totals.dr_role_mask |= s.dr_role_mask;
+      result.ospf_totals.self_originations += s.self_originations;
+      result.ospf_totals.maxage_flushes += s.maxage_flushes;
     }
     result.converged = result.full_adjacencies >=
                        expected_adjacency_endpoints(scenario.topology);
@@ -243,6 +247,7 @@ ScenarioResult run_scenario(const Scenario& scenario, Workspace& ws) {
       result.bgp_totals.long_path_rejects += s.long_path_rejects;
       result.bgp_totals.routes_selected += s.routes_selected;
       result.bgp_totals.fsm_transitions += s.fsm_transitions;
+      result.bgp_totals.fsm_edge_mask |= s.fsm_edge_mask;
     }
     // Route-level consistency: every router reaches every originated
     // prefix (only checked when nothing is flapping).
@@ -365,6 +370,98 @@ ScenarioResult run_scenario(const Scenario& scenario, Workspace& ws) {
     m.set("rip.triggered", t.triggered);
     m.set("rip.version_rejected", t.version_rejected);
   }
+
+  // Behavioral coverage fill: fold the engines' edge masks, path counters
+  // and the trace into the canonical per-scenario feature set. Always
+  // collected (one end-of-run pass, nothing per-event) so cache entries
+  // carry it regardless of reporting flags.
+  auto& cv = result.coverage;
+  auto add_fsm_edges = [&cv](cov::Proto p, std::uint64_t mask) {
+    for (unsigned bit = 0; bit < 64; ++bit)
+      if (mask >> bit & 1) cv.add(cov::fsm_edge(p, bit / 8, bit % 8));
+  };
+  if (scenario.protocol == Protocol::kOspf) {
+    const auto& t = result.ospf_totals;
+    add_fsm_edges(cov::Proto::kOspf, t.fsm_edge_mask);
+    if (t.retransmissions > 0)
+      cv.add(cov::path_marker(cov::OspfMarker::kRetransmission));
+    if (t.duplicates_received > 0)
+      cv.add(cov::path_marker(cov::OspfMarker::kDuplicateLsa));
+    if (t.stale_received > 0)
+      cv.add(cov::path_marker(cov::OspfMarker::kStaleLsa));
+    if (t.dr_role_mask >> static_cast<unsigned>(ospf::InterfaceState::kDr) & 1)
+      cv.add(cov::path_marker(cov::OspfMarker::kDrRole));
+    if (t.dr_role_mask >>
+            static_cast<unsigned>(ospf::InterfaceState::kBackup) & 1)
+      cv.add(cov::path_marker(cov::OspfMarker::kBdrRole));
+    if (t.dr_role_mask >>
+            static_cast<unsigned>(ospf::InterfaceState::kDrOther) & 1)
+      cv.add(cov::path_marker(cov::OspfMarker::kDrOtherRole));
+    if (t.self_originations > 0)
+      cv.add(cov::lsa_lifecycle(cov::LsaEvent::kOriginate));
+    if (t.lsa_refreshes > 0)
+      cv.add(cov::lsa_lifecycle(cov::LsaEvent::kRefresh));
+    if (t.maxage_flushes > 0)
+      cv.add(cov::lsa_lifecycle(cov::LsaEvent::kMaxAgeFlush));
+  } else if (scenario.protocol == Protocol::kBgp) {
+    const auto& t = result.bgp_totals;
+    add_fsm_edges(cov::Proto::kBgp, t.fsm_edge_mask);
+    if (t.session_resets > 0)
+      cv.add(cov::path_marker(cov::BgpMarker::kSessionReset));
+    if (t.loop_rejects > 0)
+      cv.add(cov::path_marker(cov::BgpMarker::kLoopReject));
+    if (t.long_path_rejects > 0)
+      cv.add(cov::path_marker(cov::BgpMarker::kLongPathReject));
+  } else {
+    const auto& t = result.rip_totals;
+    if (t.triggered > 0)
+      cv.add(cov::path_marker(cov::RipMarker::kTriggeredUpdate));
+    if (t.routes_expired > 0)
+      cv.add(cov::path_marker(cov::RipMarker::kRouteExpired));
+    if (t.version_rejected > 0)
+      cv.add(cov::path_marker(cov::RipMarker::kVersionRejected));
+  }
+  if (scenario.tdelay.count() > 0) cv.add(cov::chaos(cov::ChaosClass::kDelay));
+  if (scenario.link_jitter.count() > 0)
+    cv.add(cov::chaos(cov::ChaosClass::kJitter));
+  if (net.frames_dropped() > 0) cv.add(cov::chaos(cov::ChaosClass::kLoss));
+  if (net.frames_duplicated() > 0)
+    cv.add(cov::chaos(cov::ChaosClass::kDuplicate));
+  if (net.frames_reorder_delayed() > 0)
+    cv.add(cov::chaos(cov::ChaosClass::kReorder));
+  if (!scenario.churn_times.empty())
+    cv.add(cov::chaos(cov::ChaosClass::kChurn));
+  // Packet-kind pairs: per observing node, each send is paired with the
+  // kind of the packet most recently received there — the same
+  // stimulus→response view the causal miner takes of the trace.
+  for (std::size_t node = 0; node < log.node_index_extent(); ++node) {
+    int last_rx = -1;
+    for (const std::uint32_t idx : log.node_records(
+             static_cast<netsim::NodeId>(node))) {
+      const trace::RecordView rec = log.view(idx);
+      cov::Proto proto = cov::Proto::kOspf;
+      unsigned kind = 0;
+      if (const auto* o = rec.ospf()) {
+        proto = cov::Proto::kOspf;
+        kind = o->pkt_type;
+      } else if (const auto* ri = rec.rip()) {
+        proto = cov::Proto::kRip;
+        kind = ri->command;
+      } else if (const auto* b = rec.bgp()) {
+        proto = cov::Proto::kBgp;
+        kind = b->msg_type;
+      }
+      if (kind == 0 || kind > cov::packet_kind_count(proto)) continue;
+      if (rec.is_send()) {
+        if (last_rx >= 0)
+          cv.add(cov::packet_pair(proto, static_cast<unsigned>(last_rx),
+                                  kind));
+      } else {
+        last_rx = static_cast<int>(kind);
+      }
+    }
+  }
+  cv.finalize();
 
   result.log = std::move(log);
   // The network survives in the workspace, so its tap (which points into

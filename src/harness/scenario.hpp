@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bgp/bgp_router.hpp"
+#include "cov/cov.hpp"
 #include "netsim/chaos.hpp"
 #include "obs/obs.hpp"
 #include "netsim/network.hpp"
@@ -99,6 +100,10 @@ struct ScenarioResult {
   /// results can replay their metrics on a warm run. Merged into the
   /// global obs::Registry in canonical job order by the fan-out layer.
   obs::ScenarioMetrics metrics;
+  /// Canonical behavioral-coverage feature set. Like `metrics`, always
+  /// collected (cache entries never depend on reporting flags) and merged
+  /// into the global cov::CoverageMap in canonical job order.
+  cov::CoverageVector coverage;
 };
 
 class Workspace;

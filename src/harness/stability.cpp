@@ -48,6 +48,7 @@ std::vector<mining::RelationSet> mine_per_seed(
           const ScenarioResult run = run_scenario(job.scenario);
           entry.summary = summarize(run);
           entry.metrics = run.metrics;
+          entry.coverage = run.coverage;
           span.finish();
           obs::Span mine_span("mine", job.label);
           entry.relations = miner.mine(run.log, scheme);

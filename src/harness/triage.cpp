@@ -167,6 +167,7 @@ TriageResult triage_ospf(const std::vector<ospf::BehaviorProfile>& profiles,
           const ScenarioResult run = run_scenario(job.scenario);
           entry.summary = summarize(run);
           entry.metrics = run.metrics;
+          entry.coverage = run.coverage;
           sim_span.finish();
           obs::Span mine_span("mine", job.label);
           entry.relations =

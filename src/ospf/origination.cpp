@@ -50,6 +50,7 @@ void Router::self_originate(Lsa lsa, std::uint64_t cause) {
   lsdb_.install(lsa, now());
   last_origination_[key] = now();
   ++stats_.lsa_installs;
+  ++stats_.self_originations;
   NIDKIT_LOG(kDebug, now(), "ospf",
              config_.router_id.to_string()
                  << " originates " << lsa.header.to_string());
@@ -233,6 +234,7 @@ void Router::schedule_maxage_cleanup(const LsaKey& key) {
           return;
         }
     lsdb_.remove(key);
+    ++stats_.maxage_flushes;
   });
 }
 

@@ -391,6 +391,8 @@ bool Router::should_be_adjacent(const OspfInterface& oi,
 
 void Router::set_neighbor_state(Neighbor& n, NeighborState to) {
   if (n.state == to) return;
+  stats_.fsm_edge_mask |= 1ull << (static_cast<unsigned>(n.state) * 8 +
+                                   static_cast<unsigned>(to));
   n.state = to;
   ++stats_.fsm_transitions;
 }
@@ -488,6 +490,7 @@ void Router::run_dr_election(OspfInterface& oi) {
   } else {
     oi.state = InterfaceState::kDrOther;
   }
+  stats_.dr_role_mask |= 1ull << static_cast<unsigned>(oi.state);
 
   if (!(old_dr == dr) || !(old_bdr == bdr)) {
     NIDKIT_LOG(kDebug, now(), "ospf",

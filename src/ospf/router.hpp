@@ -194,6 +194,15 @@ class Router {
     std::uint64_t auth_failures = 0;
     /// Neighbor FSM state changes (any `state` reassignment to a new value).
     std::uint64_t fsm_transitions = 0;
+    /// Behavioral coverage masks (cov subsystem): bit from*8+to set for
+    /// every neighbor FSM edge taken; bit = InterfaceState value for every
+    /// DR-election role this router's interfaces settled into.
+    std::uint64_t fsm_edge_mask = 0;
+    std::uint64_t dr_role_mask = 0;
+    /// LSA lifecycle events: fresh self-originations and MaxAge removals
+    /// (refreshes already have their own counter above).
+    std::uint64_t self_originations = 0;
+    std::uint64_t maxage_flushes = 0;
   };
   const Stats& stats() const { return stats_; }
 

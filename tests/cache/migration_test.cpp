@@ -1,0 +1,172 @@
+// Format-version migration: coverage vectors ride inside cache entries
+// as of kCacheFormatVersion 3. Entries from an older format decode as a
+// miss (the migration path is "re-simulate and re-store"), compact
+// reports them as version skew instead of corruption, and current-format
+// entries round-trip their coverage bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cache/key.hpp"
+#include "cache/pack.hpp"
+#include "cache/store.hpp"
+#include "harness/scenario.hpp"
+
+namespace nidkit::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("nidkit_migration_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static ScenarioKey key_for_seed(std::uint64_t seed) {
+    harness::Scenario s;
+    s.seed = seed;
+    return scenario_key(s, {}, "type", PayloadKind::kMinedRelations);
+  }
+
+  static Entry covered_entry() {
+    Entry entry;
+    entry.kind = PayloadKind::kMinedRelations;
+    entry.summary.routers = 2;
+    entry.summary.converged = true;
+    entry.metrics.set("sim.events_executed", 7);
+    entry.coverage.add(cov::fsm_edge(cov::Proto::kOspf, 0, 1));
+    entry.coverage.add(cov::packet_pair(cov::Proto::kOspf, 1, 1));
+    entry.coverage.add(cov::chaos(cov::ChaosClass::kDelay));
+    entry.coverage.finalize();
+    return entry;
+  }
+
+  /// Re-frames `bytes` as an older format version. The version field is
+  /// the second big-endian u32 (after the magic).
+  static std::vector<std::uint8_t> with_version(std::vector<std::uint8_t> b,
+                                                std::uint32_t version) {
+    b[4] = static_cast<std::uint8_t>(version >> 24);
+    b[5] = static_cast<std::uint8_t>(version >> 16);
+    b[6] = static_cast<std::uint8_t>(version >> 8);
+    b[7] = static_cast<std::uint8_t>(version);
+    return b;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MigrationTest, FormatVersionIsThree) {
+  // Coverage vectors entered the framing at version 3. Bump this (and
+  // add a skew case below) the next time the entry layout changes.
+  EXPECT_EQ(kCacheFormatVersion, 3u);
+}
+
+TEST_F(MigrationTest, CoverageRoundTripsThroughCodec) {
+  const auto key = key_for_seed(1);
+  const auto entry = covered_entry();
+  const auto bytes = encode_entry(key, entry);
+  const auto back = decode_entry(key, bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->coverage, entry.coverage);
+  EXPECT_EQ(back->coverage.size(), 3u);
+  EXPECT_EQ(peek_entry_format(bytes), kCacheFormatVersion);
+}
+
+TEST_F(MigrationTest, CoverageRoundTripsThroughTheStore) {
+  const auto key = key_for_seed(2);
+  {
+    Store store(dir_);
+    store.put(key, covered_entry());
+  }
+  Store fresh(dir_);  // disk path, not the memory cache
+  const auto back = fresh.get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->coverage, covered_entry().coverage);
+}
+
+TEST_F(MigrationTest, OlderFormatEntryDecodesAsAMiss) {
+  const auto key = key_for_seed(3);
+  const auto bytes = encode_entry(key, covered_entry());
+  const auto old = with_version(bytes, 2);
+  EXPECT_EQ(peek_entry_format(old), 2u);
+  EXPECT_FALSE(decode_entry(key, old).has_value());
+
+  // Through the store: a version-2 file on disk is a miss, not an error.
+  Store store(dir_);
+  store.put(key, covered_entry());
+  const auto path = fs::path(dir_) / key.prefix() / (key.hex() + ".nidc");
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(old.data()),
+            static_cast<std::streamsize>(old.size()));
+  }
+  Store fresh(dir_);
+  EXPECT_FALSE(fresh.get(key).has_value());
+}
+
+TEST_F(MigrationTest, LsReportsEachEntrysFormat) {
+  Store store(dir_);
+  const auto key = key_for_seed(4);
+  store.put(key, covered_entry());
+  const auto entries = Store::ls(dir_);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].format, kCacheFormatVersion);
+
+  // Rewrite as version 2: ls still lists it, with the skewed format.
+  const auto old = with_version(encode_entry(key, covered_entry()), 2);
+  const auto path = fs::path(dir_) / key.prefix() / (key.hex() + ".nidc");
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(old.data()),
+            static_cast<std::streamsize>(old.size()));
+  }
+  const auto after = Store::ls(dir_);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].format, 2u);
+  EXPECT_FALSE(after[0].valid);
+}
+
+TEST_F(MigrationTest, CompactCountsVersionSkewSeparately) {
+  Store store(dir_);
+  const auto keep = key_for_seed(5);
+  const auto skewed = key_for_seed(6);
+  const auto junk = key_for_seed(7);
+  store.put(keep, covered_entry());
+  store.put(skewed, covered_entry());
+  store.put(junk, covered_entry());
+
+  const auto old = with_version(encode_entry(skewed, covered_entry()), 2);
+  {
+    std::ofstream f(fs::path(dir_) / skewed.prefix() / (skewed.hex() + ".nidc"),
+                    std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(old.data()),
+            static_cast<std::streamsize>(old.size()));
+  }
+  std::ofstream(fs::path(dir_) / junk.prefix() / (junk.hex() + ".nidc"),
+                std::ios::binary | std::ios::trunc)
+      << "not a cache entry";
+
+  const auto result = compact(dir_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->packed, 1u);
+  EXPECT_EQ(result->skipped, 1u);          // corrupt framing
+  EXPECT_EQ(result->skipped_version, 1u);  // intact framing, old format
+
+  // The packed current-format entry still replays its coverage.
+  Store fresh(dir_);
+  const auto back = fresh.get(keep);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->coverage, covered_entry().coverage);
+}
+
+}  // namespace
+}  // namespace nidkit::cache

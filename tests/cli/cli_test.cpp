@@ -5,8 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "cache/key.hpp"
+#include "cache/store.hpp"
+#include "harness/scenario.hpp"
 
 namespace nidkit::cli {
 namespace {
@@ -365,6 +370,117 @@ TEST(Cli, ChurnFlagAcceptsSecondsAndNone) {
   const auto bad = run({"audit", "--impls", "frr,bird", "--churn-s", "soon"});
   EXPECT_NE(bad.code, 0);
   EXPECT_NE(bad.err.find("churn-s"), std::string::npos);
+}
+
+TEST(Cli, CoverageSmokePrintsSaturationReport) {
+  const auto r = run({"coverage", "--impls", "frr,bird", "--topos",
+                      "linear-2", "--seeds", "1", "--duration-s", "90"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("coverage: "), std::string::npos);
+  EXPECT_NE(r.out.find("/120 features over 2 scenarios"), std::string::npos);
+  EXPECT_NE(r.out.find("  fsm "), std::string::npos);
+  EXPECT_NE(r.out.find("  pair "), std::string::npos);
+  EXPECT_NE(r.out.find("saturation:"), std::string::npos);
+  EXPECT_NE(r.out.find("fsm.ospf.Down>Init"), std::string::npos);
+  EXPECT_NE(r.out.find("lsa.originate"), std::string::npos);
+}
+
+TEST(Cli, CoverageJsonIsJobsInvariant) {
+  const std::initializer_list<std::string> base = {
+      "coverage", "--impls", "frr,bird", "--topos", "linear-2", "--seeds",
+      "1", "--duration-s", "90", "--format", "json"};
+  auto serial = std::vector<std::string>(base);
+  serial.insert(serial.end(), {"--jobs", "1"});
+  auto wide = std::vector<std::string>(base);
+  wide.insert(wide.end(), {"--jobs", "4"});
+
+  std::ostringstream out_a, err_a, out_b, err_b;
+  EXPECT_EQ(run_cli(serial, out_a, err_a), 0) << err_a.str();
+  EXPECT_EQ(run_cli(wide, out_b, err_b), 0) << err_b.str();
+  EXPECT_EQ(out_a.str(), out_b.str());
+  EXPECT_EQ(out_a.str().rfind("{\n\"version\":1,\n", 0), 0u);
+  EXPECT_NE(out_a.str().find("\"cov\":{"), std::string::npos);
+}
+
+TEST(Cli, CoverageOutWritesOneLineCovSection) {
+  const std::string path = "cli_coverage_out.tmp";
+  const auto r = run({"audit", "--impls", "frr,bird", "--topos", "linear-2",
+                      "--seeds", "1", "--duration-s", "90", "--coverage-out",
+                      path});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  const auto doc = slurp(path);
+  EXPECT_EQ(doc.rfind("{\n\"version\":1,\n", 0), 0u);
+  // The whole "cov" section occupies exactly one line, so CI can
+  // `grep '"cov":' | cmp` across jobs/cache laps (same contract as the
+  // --metrics-out "sim" section).
+  std::size_t cov_lines = 0;
+  std::istringstream lines(doc);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("\"cov\":{", 0) == 0) {
+      ++cov_lines;
+      EXPECT_NE(line.find("\"universe\":120"), std::string::npos);
+      EXPECT_NE(line.find("\"curve\":["), std::string::npos);
+      EXPECT_EQ(line.back(), '}');
+    }
+  }
+  EXPECT_EQ(cov_lines, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, CacheLsJsonReportsEntryFormat) {
+  const std::string dir = "cli_cache_format_test.tmp";
+  run({"cache", "clear", "--cache-dir", dir});
+  const auto audit = run({"audit", "--impls", "frr,bird", "--topos",
+                          "linear-2", "--seeds", "1", "--duration-s", "90",
+                          "--cache-dir", dir});
+  EXPECT_EQ(audit.code, 0) << audit.err;
+
+  const auto ls = run({"cache", "ls", "--json", "--cache-dir", dir});
+  EXPECT_EQ(ls.code, 0) << ls.err;
+  EXPECT_NE(ls.out.find("\"format\":" +
+                        std::to_string(cache::kCacheFormatVersion)),
+            std::string::npos);
+  run({"cache", "clear", "--cache-dir", dir});
+}
+
+TEST(Cli, CacheCompactReportsVersionSkew) {
+  const std::string dir = "cli_cache_skew_test.tmp";
+  run({"cache", "clear", "--cache-dir", dir});
+
+  // Two current-format entries, one rewritten as the previous format.
+  harness::Scenario keep_scenario, skew_scenario;
+  keep_scenario.seed = 1;
+  skew_scenario.seed = 2;
+  const auto keep = cache::scenario_key(keep_scenario, {}, "type",
+                                        cache::PayloadKind::kMinedRelations);
+  const auto skew = cache::scenario_key(skew_scenario, {}, "type",
+                                        cache::PayloadKind::kMinedRelations);
+  cache::Entry entry;
+  entry.coverage.add(cov::fsm_edge(cov::Proto::kOspf, 0, 1));
+  entry.coverage.finalize();
+  {
+    cache::Store store(dir);
+    store.put(keep, entry);
+    store.put(skew, entry);
+  }
+  auto old = cache::encode_entry(skew, entry);
+  old[7] = 2;  // big-endian version field: patch 3 -> 2
+  const auto path = std::filesystem::path(dir) / skew.prefix() /
+                    (skew.hex() + ".nidc");
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(old.data()),
+            static_cast<std::streamsize>(old.size()));
+  }
+
+  const auto r = run({"cache", "compact", "--cache-dir", dir});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("packed 1 loose entries"), std::string::npos);
+  EXPECT_NE(r.out.find("skipped 1 for format-version skew"),
+            std::string::npos);
+  run({"cache", "clear", "--cache-dir", dir});
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, NoCacheOverridesCacheDir) {
